@@ -1,0 +1,17 @@
+"""Ablation: NetAgg under different flow arrival patterns.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import BENCH
+from repro.experiments import ablation_arrivals as experiment
+
+
+def bench_ablation_arrivals(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

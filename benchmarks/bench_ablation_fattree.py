@@ -1,0 +1,16 @@
+"""Ablation: NetAgg multi-tree gains on a k-ary fat-tree.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import ablation_fattree as experiment
+
+
+def bench_ablation_fattree(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

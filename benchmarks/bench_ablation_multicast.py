@@ -1,0 +1,16 @@
+"""Extension: on-path multicast vs unicast fan-out.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import ablation_multicast as experiment
+
+
+def bench_ablation_multicast(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

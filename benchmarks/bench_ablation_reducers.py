@@ -1,0 +1,16 @@
+"""Ablation: NetAgg's Hadoop speed-up vs reducer count.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import ablation_reducers as experiment
+
+
+def bench_ablation_reducers(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

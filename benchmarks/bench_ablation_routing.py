@@ -1,0 +1,18 @@
+"""Ablation: ECMP vs single-path routing.
+
+Regenerates the experiment at BENCH scale and prints the series.  Run
+with ``pytest benchmarks/ --benchmark-only``; pass DEFAULT/PAPER scales
+through the module's ``main()`` for full-fidelity numbers.
+"""
+
+from repro.experiments import BENCH
+from repro.experiments import ablation_routing as experiment
+
+
+def bench_ablation_routing(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Ablation: pipelined vs blocking local trees.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import ablation_streaming as experiment
+
+
+def bench_ablation_streaming(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,18 @@
+"""Ablation: multiple aggregation trees per application.
+
+Regenerates the experiment at BENCH scale and prints the series.  Run
+with ``pytest benchmarks/ --benchmark-only``; pass DEFAULT/PAPER scales
+through the module's ``main()`` for full-fidelity numbers.
+"""
+
+from repro.experiments import BENCH
+from repro.experiments import ablation_trees as experiment
+
+
+def bench_ablation_trees(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

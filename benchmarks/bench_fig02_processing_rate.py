@@ -1,0 +1,18 @@
+"""Fig. 2: FCT vs agg-box processing rate (feasibility study).
+
+Regenerates the experiment at BENCH scale and prints the series.  Run
+with ``pytest benchmarks/ --benchmark-only``; pass DEFAULT/PAPER scales
+through the module's ``main()`` for full-fidelity numbers.
+"""
+
+from repro.experiments import BENCH
+from repro.experiments import fig02_processing_rate as experiment
+
+
+def bench_fig02_processing_rate(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,18 @@
+"""Fig. 9: per-link traffic at alpha=10%.
+
+Regenerates the experiment at BENCH scale and prints the series.  Run
+with ``pytest benchmarks/ --benchmark-only``; pass DEFAULT/PAPER scales
+through the module's ``main()`` for full-fidelity numbers.
+"""
+
+from repro.experiments import BENCH
+from repro.experiments import fig09_link_traffic as experiment
+
+
+def bench_fig09_link_traffic(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,18 @@
+"""Fig. 11: relative FCT vs over-subscription.
+
+Regenerates the experiment at BENCH scale and prints the series.  Run
+with ``pytest benchmarks/ --benchmark-only``; pass DEFAULT/PAPER scales
+through the module's ``main()`` for full-fidelity numbers.
+"""
+
+from repro.experiments import BENCH
+from repro.experiments import fig11_oversub as experiment
+
+
+def bench_fig11_oversub(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 15: local aggregation tree throughput.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig15_localtree as experiment
+
+
+def bench_fig15_localtree(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

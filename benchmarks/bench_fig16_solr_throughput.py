@@ -1,0 +1,16 @@
+"""Fig. 16: Solr throughput vs clients.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig16_solr_throughput as experiment
+
+
+def bench_fig16_solr_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 17: Solr 99th-pct latency vs clients.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig17_solr_latency as experiment
+
+
+def bench_fig17_solr_latency(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 18: Solr throughput vs output ratio.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig18_solr_ratio as experiment
+
+
+def bench_fig18_solr_ratio(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 19: Solr two-rack scaling.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig19_solr_tworack as experiment
+
+
+def bench_fig19_solr_tworack(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

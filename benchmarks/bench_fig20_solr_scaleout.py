@@ -1,0 +1,16 @@
+"""Fig. 20: agg box scale-out (categorise).
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig20_solr_scaleout as experiment
+
+
+def bench_fig20_solr_scaleout(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 21: throughput vs CPU cores.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig21_solr_scaleup as experiment
+
+
+def bench_fig21_solr_scaleup(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 22: Hadoop benchmark jobs.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig22_hadoop_jobs as experiment
+
+
+def bench_fig22_hadoop_jobs(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 23: Hadoop WC vs output ratio.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig23_hadoop_ratio as experiment
+
+
+def bench_fig23_hadoop_ratio(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 24: Hadoop WC vs intermediate data size.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig24_hadoop_datasize as experiment
+
+
+def bench_fig24_hadoop_datasize(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 25: fixed-weight WFQ CPU sharing.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig25_fair_fixed as experiment
+
+
+def bench_fig25_fair_fixed(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -1,0 +1,16 @@
+"""Fig. 26: adaptive WFQ CPU sharing.
+
+Regenerates the experiment and prints the series.  Run with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.experiments import fig26_fair_adaptive as experiment
+
+
+def bench_fig26_fair_adaptive(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment.run(), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

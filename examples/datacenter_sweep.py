@@ -1,0 +1,30 @@
+"""Data-centre parameter sweeps (Figs. 8 and 11 at bench scale).
+
+Regenerates two of the paper's central simulation results and prints
+them as tables: how NetAgg's advantage over rack-level aggregation (and
+the edge-tree baselines) varies with the aggregation output ratio and
+with network over-subscription.
+
+Run:  python examples/datacenter_sweep.py        (~1 minute)
+"""
+
+from repro.experiments import BENCH
+from repro.experiments import fig08_output_ratio, fig11_oversub
+
+
+def main():
+    print("Sweeping output ratio alpha (Fig. 8)...\n")
+    print(fig08_output_ratio.run(scale=BENCH).to_text())
+    print("\nvalues < 1.0 beat rack-level aggregation; note how chain "
+          "loses its edge as alpha grows\n")
+
+    print("Sweeping over-subscription (Fig. 11)...\n")
+    print(fig11_oversub.run(scale=BENCH).to_text())
+    print("\nNetAgg wins at every over-subscription, including full "
+          "bisection (the master's inbound link remains a bottleneck "
+          "that on-path aggregation removes); see EXPERIMENTS.md for "
+          "the extreme-over-subscription caveat")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no `wheel` package, so PEP
+660 editable installs (which shell out to bdist_wheel) fail.  This shim
+lets ``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` path.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro -- a reproduction of NetAgg (CoNEXT 2014).
+
+NetAgg is a software middlebox platform that performs application-specific
+*on-path aggregation* of partition/aggregation traffic in data centres.
+This package rebuilds the whole system in Python:
+
+- :mod:`repro.netsim` -- a flow-level discrete-event network simulator with
+  exact max-min fair bandwidth sharing (the paper's OMNeT++ substitute);
+- :mod:`repro.topology` -- three-tier multi-rooted and fat-tree DC
+  topologies with agg-box attachment points;
+- :mod:`repro.aggregation` -- aggregation strategies (rack-level, d-ary
+  edge trees, NetAgg on-path, partial deployments and scale-out);
+- :mod:`repro.core` -- the NetAgg platform itself: aggregation trees over
+  agg boxes, shim layers, failure and straggler handling;
+- :mod:`repro.aggbox` -- the agg-box runtime: aggregation tasks, pipelined
+  local aggregation trees, cooperative scheduling with adaptive weighted
+  fair queuing;
+- :mod:`repro.wire` -- the binary serialisation and framing layer;
+- :mod:`repro.apps` -- the two case-study applications, a distributed
+  search engine (mini-Solr) and a map/reduce framework (mini-Hadoop);
+- :mod:`repro.cluster` -- a deterministic emulator of the paper's
+  34-server testbed;
+- :mod:`repro.workload` -- synthetic DC workload generation;
+- :mod:`repro.cost` -- the deployment cost model of the feasibility study;
+- :mod:`repro.experiments` -- one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"
+
+from repro.units import GB, KB, MB, Gbps, Mbps
+
+__all__ = ["Gbps", "Mbps", "KB", "MB", "GB", "__version__"]

@@ -1,0 +1,163 @@
+"""Isolation of faulty aggregation functions -- §3.2.1's future work.
+
+"We assume that aggregation functions are well-behaved and terminate --
+we leave mechanisms for isolating faulty or malicious aggregation tasks
+to future work."  This module provides that mechanism: a guard that
+wraps an application's aggregation function and
+
+- converts exceptions into :class:`AggregationFault` without corrupting
+  box state;
+- enforces a merge *step budget* (a deterministic stand-in for a CPU
+  timeout: the function reports progress through a ticker and is killed
+  when it stops ticking within budget);
+- enforces an output-size ceiling (a malicious function cannot amplify
+  traffic);
+- quarantines an application after ``max_faults`` incidents, at which
+  point the box refuses further work for it (the platform then falls
+  back to unaggregated pass-through for that app).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+from repro.aggbox.functions import AggregationFunction
+
+
+class AggregationFault(RuntimeError):
+    """A guarded aggregation function misbehaved."""
+
+
+class AppQuarantined(RuntimeError):
+    """The application exceeded its fault budget on this box."""
+
+
+@dataclass(frozen=True)
+class IsolationPolicy:
+    """Limits enforced on guarded aggregation functions.
+
+    Attributes:
+        max_merge_items: most items one merge call may process (the
+            cooperative-scheduling analogue of a timeout: agg boxes run
+            tasks to completion, so runaway tasks must be bounded by
+            input size).
+        max_output_amplification: output may be at most this multiple of
+            the modelled input size (1.0 = aggregation must not grow
+            data; the default allows small framing overheads).
+        max_faults: faults before the app is quarantined on this box.
+    """
+
+    max_merge_items: int = 100_000
+    max_output_amplification: float = 1.5
+    max_faults: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_merge_items < 1:
+            raise ValueError("max_merge_items must be >= 1")
+        if self.max_output_amplification <= 0:
+            raise ValueError("max_output_amplification must be positive")
+        if self.max_faults < 1:
+            raise ValueError("max_faults must be >= 1")
+
+
+@dataclass
+class FaultRecord:
+    """One recorded incident."""
+
+    app: str
+    kind: str  # "exception" | "oversize-merge" | "amplification"
+    detail: str
+
+
+class GuardedFunction(AggregationFunction):
+    """Wraps an aggregation function with the isolation policy."""
+
+    def __init__(self, inner: AggregationFunction,
+                 policy: IsolationPolicy = IsolationPolicy(),
+                 monitor: Optional["IsolationMonitor"] = None,
+                 app: str = "") -> None:
+        self._inner = inner
+        self._policy = policy
+        self._monitor = monitor
+        self._app = app or inner.name
+        self.name = f"guarded({inner.name})"
+        self.cpu_factor = inner.cpu_factor
+
+    def merge(self, items: Sequence[Any]) -> Any:
+        if self._monitor is not None:
+            self._monitor.check(self._app)
+        total = sum(self._sizeof(item) for item in items)
+        if total > self._policy.max_merge_items:
+            self._record("oversize-merge",
+                         f"{total} items > {self._policy.max_merge_items}")
+            raise AggregationFault(
+                f"{self._app}: merge of {total} items exceeds budget"
+            )
+        try:
+            result = self._inner.merge(items)
+        except AggregationFault:
+            raise
+        except Exception as exc:
+            self._record("exception", repr(exc))
+            raise AggregationFault(
+                f"{self._app}: aggregation function raised {exc!r}"
+            ) from exc
+        out = self._sizeof(result)
+        limit = self._policy.max_output_amplification * max(total, 1)
+        if out > limit:
+            self._record("amplification", f"{out} items from {total}")
+            raise AggregationFault(
+                f"{self._app}: output of {out} items amplifies "
+                f"{total} inputs beyond policy"
+            )
+        return result
+
+    def output_bytes(self, input_sizes: Sequence[float]) -> float:
+        return min(
+            self._inner.output_bytes(input_sizes),
+            self._policy.max_output_amplification
+            * max(sum(input_sizes), 1.0),
+        )
+
+    def _record(self, kind: str, detail: str) -> None:
+        if self._monitor is not None:
+            self._monitor.record(FaultRecord(self._app, kind, detail))
+
+    @staticmethod
+    def _sizeof(value: Any) -> int:
+        try:
+            return len(value)
+        except TypeError:
+            return 1
+
+
+@dataclass
+class IsolationMonitor:
+    """Per-box fault accounting and quarantine decisions."""
+
+    policy: IsolationPolicy = field(default_factory=IsolationPolicy)
+    faults: Dict[str, list] = field(default_factory=dict)
+
+    def record(self, fault: FaultRecord) -> None:
+        self.faults.setdefault(fault.app, []).append(fault)
+
+    def fault_count(self, app: str) -> int:
+        return len(self.faults.get(app, ()))
+
+    def quarantined(self, app: str) -> bool:
+        return self.fault_count(app) >= self.policy.max_faults
+
+    def check(self, app: str) -> None:
+        """Raise if the application is no longer allowed to run."""
+        if self.quarantined(app):
+            raise AppQuarantined(
+                f"app {app!r} quarantined after "
+                f"{self.fault_count(app)} faults"
+            )
+
+    def guard(self, app: str,
+              function: AggregationFunction) -> GuardedFunction:
+        """Wrap ``function`` so its faults are accounted here."""
+        return GuardedFunction(function, policy=self.policy,
+                               monitor=self, app=app)

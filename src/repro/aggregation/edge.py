@@ -1,0 +1,249 @@
+"""Edge-based aggregation strategies (§2.2): the paper's baselines.
+
+All of these aggregate at *worker servers*, so internal tree nodes spend
+edge-link bandwidth (both inbound and outbound) on aggregation traffic --
+the fundamental drawback NetAgg removes.
+
+Aggregation output sizes follow the *saturating dictionary* model (see
+DESIGN.md): an aggregation point that received ``I`` bytes over the
+network and holds ``L`` bytes of local partial results forwards
+``min(I + L, alpha * R_job)`` bytes, ``R_job`` being the job's total raw
+intermediate data.  Leaf workers forward their raw partial results
+unchanged (workers do not pre-reduce -- their output *is* the partial
+result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.aggregation.base import (
+    AggregationStrategy,
+    ecmp_path,
+    worker_start_time,
+)
+from repro.netsim.routing import EcmpRouter
+from repro.netsim.simulator import FlowSpec
+from repro.topology.base import Topology
+from repro.workload.synthetic import AggJob
+
+
+@dataclass
+class _Member:
+    """One worker of a job, with its position for delay lookup."""
+
+    index: int
+    host: str
+    size: float
+
+
+def _members_by_rack(job: AggJob, topo: Topology) -> Dict[int, List[_Member]]:
+    racks: Dict[int, List[_Member]] = {}
+    for index, (host, size) in enumerate(job.workers):
+        if host == job.master:
+            raise ValueError(
+                f"job {job.job_id!r}: master {host!r} cannot be a worker"
+            )
+        racks.setdefault(topo.rack_of(host), []).append(
+            _Member(index, host, size)
+        )
+    for members in racks.values():
+        members.sort(key=lambda m: m.host)
+    return racks
+
+
+def _node_output(job: AggJob, local: float, inflow: float,
+                 children: Tuple[str, ...]) -> float:
+    """Bytes a tree node forwards upstream (see module docstring)."""
+    if not children:
+        return local
+    return min(inflow + local, job.alpha * job.total_bytes)
+
+
+class NoAggregationStrategy(AggregationStrategy):
+    """Every worker ships its raw partial result straight to the master."""
+
+    name = "none"
+
+    def plan_job(self, job: AggJob, topo: Topology,
+                 router: EcmpRouter) -> List[FlowSpec]:
+        specs = []
+        for index, (host, size) in enumerate(job.workers):
+            if host == job.master:
+                raise ValueError(
+                    f"job {job.job_id!r}: master {host!r} cannot be a worker"
+                )
+            flow_id = f"{job.job_id}:w{index}"
+            specs.append(FlowSpec(
+                flow_id=flow_id,
+                size=size,
+                path=ecmp_path(topo, router, host, job.master, flow_id),
+                start_time=worker_start_time(job, index),
+                job_id=job.job_id,
+                kind="worker",
+                aggregatable=True,
+            ))
+        return specs
+
+
+class RackLevelStrategy(AggregationStrategy):
+    """One aggregator server per rack, then rack aggregates to the master.
+
+    The aggregator is the rack's first worker (deterministic choice); its
+    own partial result needs no network hop.  The rack aggregate is
+    ``alpha * (sum of the rack's raw partial results)`` -- unless the rack
+    holds a single worker, in which case nothing can be merged and the raw
+    partial result travels to the master unchanged.
+    """
+
+    name = "rack"
+
+    def plan_job(self, job: AggJob, topo: Topology,
+                 router: EcmpRouter) -> List[FlowSpec]:
+        specs = []
+        for rack, members in sorted(_members_by_rack(job, topo).items()):
+            aggregator = members[0]
+            children = []
+            inflow = 0.0
+            for member in members[1:]:
+                flow_id = f"{job.job_id}:w{member.index}"
+                children.append(flow_id)
+                inflow += member.size
+                specs.append(FlowSpec(
+                    flow_id=flow_id,
+                    size=member.size,
+                    path=ecmp_path(topo, router, member.host,
+                                   aggregator.host, flow_id),
+                    start_time=worker_start_time(job, member.index),
+                    job_id=job.job_id,
+                    kind="worker",
+                    aggregatable=True,
+                ))
+            result_id = f"{job.job_id}:r{rack}"
+            specs.append(FlowSpec(
+                flow_id=result_id,
+                size=_node_output(job, aggregator.size, inflow,
+                                  tuple(children)),
+                path=ecmp_path(topo, router, aggregator.host,
+                               job.master, result_id),
+                start_time=worker_start_time(job, aggregator.index),
+                job_id=job.job_id,
+                kind="result",
+                aggregatable=True,
+                children=tuple(children),
+            ))
+        return specs
+
+
+class DAryTreeStrategy(AggregationStrategy):
+    """Generalised edge-based aggregation: a d-ary tree of servers.
+
+    Workers are arranged into a d-ary tree *within each rack first and
+    then progressively across racks* (§2.2): rack-local trees aggregate
+    intra-rack, rack roots form a second d-ary tree across racks, and the
+    global root ships the final aggregate to the master.  Internal nodes
+    are worker servers, so their inbound edge links carry aggregation
+    traffic -- the cost the paper highlights for small d.
+    """
+
+    def __init__(self, d: int, name: Optional[str] = None) -> None:
+        if d < 1:
+            raise ValueError("tree arity d must be >= 1")
+        self.d = d
+        self.name = name or f"d{d}-tree"
+
+    def plan_job(self, job: AggJob, topo: Topology,
+                 router: EcmpRouter) -> List[FlowSpec]:
+        specs: List[FlowSpec] = []
+        # Stage 1: an intra-rack d-ary heap tree per rack.
+        rack_state: List[List] = []  # [root member, inflow, child flow ids]
+        for _rack, members in sorted(_members_by_rack(job, topo).items()):
+            root, inflow, children = self._plan_rack_tree(
+                job, topo, router, specs, members
+            )
+            rack_state.append([root, inflow, list(children)])
+
+        # Stage 2: a d-ary heap tree across the rack roots.  Deepest
+        # positions send first so every node has its full inflow (rack
+        # tree + cross-rack children) before producing its aggregate.
+        for pos in range(len(rack_state) - 1, 0, -1):
+            parent = (pos - 1) // self.d
+            member, inflow, children = rack_state[pos]
+            flow_id = f"{job.job_id}:x{pos}"
+            out_bytes = _node_output(job, member.size, inflow,
+                                     tuple(children))
+            specs.append(FlowSpec(
+                flow_id=flow_id,
+                size=out_bytes,
+                path=ecmp_path(topo, router, member.host,
+                               rack_state[parent][0].host, flow_id),
+                start_time=worker_start_time(job, member.index),
+                job_id=job.job_id,
+                kind="internal" if children else "worker",
+                aggregatable=True,
+                children=tuple(children),
+            ))
+            rack_state[parent][1] += out_bytes
+            rack_state[parent][2].append(flow_id)
+
+        member, inflow, children = rack_state[0]
+        result_id = f"{job.job_id}:res"
+        specs.append(FlowSpec(
+            flow_id=result_id,
+            size=_node_output(job, member.size, inflow,
+                              tuple(children)),
+            path=ecmp_path(topo, router, member.host, job.master, result_id),
+            start_time=worker_start_time(job, member.index),
+            job_id=job.job_id,
+            kind="result",
+            aggregatable=True,
+            children=tuple(children),
+        ))
+        return specs
+
+    def _plan_rack_tree(
+        self,
+        job: AggJob,
+        topo: Topology,
+        router: EcmpRouter,
+        specs: List[FlowSpec],
+        members: List[_Member],
+    ) -> Tuple[_Member, float, Tuple[str, ...]]:
+        """Emit one rack's tree; returns (root, root inflow, child ids)."""
+        inflow = [0.0] * len(members)
+        child_flows: List[List[str]] = [[] for _ in members]
+        # Heap layout: node i's parent is (i - 1) // d; leaves first.
+        for i in range(len(members) - 1, 0, -1):
+            parent = (i - 1) // self.d
+            out_bytes = _node_output(job, members[i].size, inflow[i],
+                                     tuple(child_flows[i]))
+            flow_id = f"{job.job_id}:i{members[i].index}"
+            specs.append(FlowSpec(
+                flow_id=flow_id,
+                size=out_bytes,
+                path=ecmp_path(topo, router, members[i].host,
+                               members[parent].host, flow_id),
+                start_time=worker_start_time(job, members[i].index),
+                job_id=job.job_id,
+                kind="internal" if child_flows[i] else "worker",
+                aggregatable=True,
+                children=tuple(child_flows[i]),
+            ))
+            inflow[parent] += out_bytes
+            child_flows[parent].append(flow_id)
+        return members[0], inflow[0], tuple(child_flows[0])
+
+
+class ChainStrategy(DAryTreeStrategy):
+    """The degenerate d=1 tree: a chain of servers (§2.2)."""
+
+    def __init__(self) -> None:
+        super().__init__(d=1, name="chain")
+
+
+class BinaryTreeStrategy(DAryTreeStrategy):
+    """The d=2 server tree the paper calls ``binary``."""
+
+    def __init__(self) -> None:
+        super().__init__(d=2, name="binary")

@@ -1,0 +1,13 @@
+"""The paper's two case-study applications, rebuilt from scratch.
+
+- :mod:`repro.apps.hadoop` -- a mini map/reduce framework with combiner
+  support and the paper's five benchmark jobs (WordCount, AdPredictor,
+  PageRank, UserVisits, TeraSort);
+- :mod:`repro.apps.solr` -- a mini distributed full-text search engine:
+  sharded inverted index backends, a scatter/gather frontend, and the
+  paper's ``sample`` and ``categorise`` aggregation functions.
+
+Both run *for real* (they compute actual results) and are deployed on
+NetAgg through application-specific aggregation wrappers and
+serialisers, exactly as Table 1 of the paper describes.
+"""

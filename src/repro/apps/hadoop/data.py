@@ -1,0 +1,129 @@
+"""Synthetic input generators for the benchmark jobs.
+
+Each generator is seeded and deterministic.  Text vocabulary follows a
+Zipf distribution whose *repetition* controls the measured WordCount
+output ratio -- the knob Fig. 23 turns ("different output ratios,
+obtained by varying the repetition of words in the input").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+_WORD_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _zipf_weights(n: int, skew: float) -> List[float]:
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def generate_text(
+    n_lines: int,
+    words_per_line: int = 10,
+    vocabulary: int = 500,
+    skew: float = 1.1,
+    seed: int = 1,
+) -> List[str]:
+    """Lines of Zipf-distributed words.
+
+    Smaller ``vocabulary`` (more repetition) lowers WordCount's measured
+    output ratio; a huge vocabulary approaches ratio 1.
+    """
+    if n_lines < 1 or words_per_line < 1 or vocabulary < 1:
+        raise ValueError("counts must be >= 1")
+    rng = random.Random(seed)
+    words = [
+        "".join(rng.choice(_WORD_ALPHABET) for _ in range(rng.randint(3, 9)))
+        for _ in range(vocabulary)
+    ]
+    weights = _zipf_weights(vocabulary, skew)
+    return [
+        " ".join(rng.choices(words, weights=weights, k=words_per_line))
+        for _ in range(n_lines)
+    ]
+
+
+def generate_adpredictor_logs(
+    n_impressions: int,
+    n_features: int = 50,
+    ctr: float = 0.05,
+    seed: int = 1,
+) -> List[Tuple[Tuple[str, ...], bool]]:
+    """Sponsored-search impression logs: (feature tuple, clicked).
+
+    Features mimic the Bing click-through model's discretised inputs
+    (ad id, position, match type ...); the job learns per-feature
+    click/impression counts.
+    """
+    if n_impressions < 1 or n_features < 1:
+        raise ValueError("counts must be >= 1")
+    if not 0.0 <= ctr <= 1.0:
+        raise ValueError("ctr must be in [0, 1]")
+    rng = random.Random(seed)
+    features = [f"feat:{i}" for i in range(n_features)]
+    weights = _zipf_weights(n_features, 1.2)
+    logs = []
+    for _ in range(n_impressions):
+        chosen = tuple(rng.choices(features, weights=weights, k=3))
+        clicked = rng.random() < ctr
+        logs.append((chosen, clicked))
+    return logs
+
+
+def generate_graph(
+    n_nodes: int,
+    out_degree: int = 4,
+    seed: int = 1,
+) -> List[Tuple[int, List[int]]]:
+    """Adjacency lists for PageRank (preferential-attachment flavoured)."""
+    if n_nodes < 2 or out_degree < 1:
+        raise ValueError("need >= 2 nodes and out_degree >= 1")
+    rng = random.Random(seed)
+    adjacency = []
+    for node in range(n_nodes):
+        targets = set()
+        while len(targets) < min(out_degree, n_nodes - 1):
+            # Prefer low-id nodes (hubs), as in scale-free webs.
+            candidate = min(rng.randrange(n_nodes), rng.randrange(n_nodes))
+            if candidate != node:
+                targets.add(candidate)
+        adjacency.append((node, sorted(targets)))
+    return adjacency
+
+
+def generate_uservisits(
+    n_visits: int,
+    n_ips: int = 200,
+    seed: int = 1,
+) -> List[Tuple[str, float]]:
+    """Web-log rows: (source IP, ad revenue) -- the UV benchmark input."""
+    if n_visits < 1 or n_ips < 1:
+        raise ValueError("counts must be >= 1")
+    rng = random.Random(seed)
+    ips = [
+        f"{rng.randrange(256)}.{rng.randrange(256)}."
+        f"{rng.randrange(256)}.{rng.randrange(256)}"
+        for _ in range(n_ips)
+    ]
+    weights = _zipf_weights(n_ips, 1.1)
+    return [
+        (rng.choices(ips, weights=weights, k=1)[0],
+         round(rng.uniform(0.01, 10.0), 2))
+        for _ in range(n_visits)
+    ]
+
+
+def generate_terasort_records(
+    n_records: int,
+    key_bytes: int = 10,
+    seed: int = 1,
+) -> List[str]:
+    """Random fixed-width keys (TeraSort's 10-byte keys)."""
+    if n_records < 1 or key_bytes < 1:
+        raise ValueError("counts must be >= 1")
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice(_WORD_ALPHABET) for _ in range(key_bytes))
+        for _ in range(n_records)
+    ]

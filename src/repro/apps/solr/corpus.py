@@ -1,0 +1,105 @@
+"""Synthetic Wikipedia-like corpus.
+
+The paper loads a June Wikipedia snapshot into the backends and
+classifies documents into base categories (§4.2.1).  We generate an
+equivalent: Zipf-vocabulary documents salted with category marker words,
+so both full-text queries and the ``categorise`` function have realistic
+material to chew on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+BASE_CATEGORIES = ("science", "history", "geography", "arts", "sports")
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass(frozen=True)
+class Document:
+    """One corpus document."""
+
+    doc_id: int
+    title: str
+    body: str
+    category: str
+
+    @property
+    def text(self) -> str:
+        return f"{self.title} {self.body}"
+
+
+def generate_corpus(
+    n_docs: int,
+    words_per_doc: int = 120,
+    vocabulary: int = 2000,
+    skew: float = 1.1,
+    categories: Sequence[str] = BASE_CATEGORIES,
+    seed: int = 1,
+) -> List[Document]:
+    """Generate a deterministic corpus.
+
+    Each document gets a dominant category whose marker word is sprinkled
+    through the body (so :class:`CategoriseFunction` can classify it by
+    majority count, as the paper does by parsing for category strings).
+    """
+    if n_docs < 1 or words_per_doc < 10 or vocabulary < 10:
+        raise ValueError("corpus parameters too small")
+    rng = random.Random(seed)
+    words = [
+        "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(3, 10)))
+        for _ in range(vocabulary)
+    ]
+    weights = [1.0 / (rank ** skew) for rank in range(1, vocabulary + 1)]
+    docs = []
+    for doc_id in range(n_docs):
+        category = categories[doc_id % len(categories)]
+        body_words = rng.choices(words, weights=weights, k=words_per_doc)
+        # Salt with the dominant category marker plus one decoy.
+        n_markers = max(2, words_per_doc // 20)
+        for _ in range(n_markers):
+            body_words[rng.randrange(len(body_words))] = category
+        decoy = rng.choice([c for c in categories if c != category])
+        body_words[rng.randrange(len(body_words))] = decoy
+        title = " ".join(rng.choices(words, weights=weights, k=3))
+        docs.append(Document(
+            doc_id=doc_id,
+            title=title,
+            body=" ".join(body_words),
+            category=category,
+        ))
+    return docs
+
+
+def shard_corpus(docs: Sequence[Document],
+                 n_shards: int) -> List[List[Document]]:
+    """Round-robin sharding, as an index partitioner would do."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    shards: List[List[Document]] = [[] for _ in range(n_shards)]
+    for doc in docs:
+        shards[doc.doc_id % n_shards].append(doc)
+    return shards
+
+
+def random_queries(
+    docs: Sequence[Document],
+    n_queries: int,
+    words_per_query: int = 3,
+    seed: int = 7,
+) -> List[str]:
+    """Queries of random words drawn from the corpus (as the clients do:
+    'each client continuously submits a query for three random words')."""
+    if not docs:
+        raise ValueError("empty corpus")
+    rng = random.Random(seed)
+    pool: List[str] = []
+    for doc in docs[: min(len(docs), 200)]:
+        pool.extend(doc.body.split()[:30])
+    return [
+        " ".join(rng.choices(pool, k=words_per_query))
+        for _ in range(n_queries)
+    ]

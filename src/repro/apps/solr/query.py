@@ -1,0 +1,142 @@
+"""Query language for the distributed search engine.
+
+Syntax (a pragmatic subset of Lucene's):
+
+- bare words        -- optional terms, ranked by TF-IDF (``cat dog``);
+- ``+word``         -- required term (boolean AND);
+- ``-word``         -- excluded term (boolean NOT);
+- ``"two words"``   -- phrase: the words must appear consecutively.
+
+Parsing is whitespace-driven with quote handling; scoring reuses the
+index's TF-IDF over the optional+required terms, restricted to the
+documents that satisfy the boolean/phrase constraints.  Because the
+constraints filter *within each shard* and the ranking uses global IDF,
+distributed execution still matches a centralised index exactly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.apps.solr.index import InvertedIndex, tokenize
+
+
+class QuerySyntaxError(ValueError):
+    """Raised for malformed query strings."""
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Structured form of a query string."""
+
+    optional: Tuple[str, ...] = ()
+    required: Tuple[str, ...] = ()
+    excluded: Tuple[str, ...] = ()
+    phrases: Tuple[Tuple[str, ...], ...] = ()
+
+    @property
+    def scoring_terms(self) -> Tuple[str, ...]:
+        """Terms contributing to the TF-IDF score."""
+        phrase_words = tuple(w for p in self.phrases for w in p)
+        return self.optional + self.required + phrase_words
+
+    @property
+    def is_pure_ranking(self) -> bool:
+        """No boolean/phrase constraints (the fast common path)."""
+        return not (self.required or self.excluded or self.phrases)
+
+
+_QUOTED = re.compile(r'"([^"]*)"')
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a query string (see module docstring for the syntax)."""
+    if text.count('"') % 2:
+        raise QuerySyntaxError(f"unbalanced quotes in {text!r}")
+    phrases: List[Tuple[str, ...]] = []
+
+    def _capture(match: "re.Match[str]") -> str:
+        words = tuple(tokenize(match.group(1)))
+        if len(words) >= 2:
+            phrases.append(words)
+            return " "
+        # Single-word "phrase" degrades to a required term.
+        return f" +{words[0]} " if words else " "
+
+    remainder = _QUOTED.sub(_capture, text)
+
+    optional: List[str] = []
+    required: List[str] = []
+    excluded: List[str] = []
+    for token in remainder.split():
+        if token.startswith("+"):
+            words = tokenize(token[1:])
+            if not words:
+                raise QuerySyntaxError(f"dangling '+' in {text!r}")
+            required.extend(words)
+        elif token.startswith("-"):
+            words = tokenize(token[1:])
+            if not words:
+                raise QuerySyntaxError(f"dangling '-' in {text!r}")
+            excluded.extend(words)
+        else:
+            optional.extend(tokenize(token))
+    query = ParsedQuery(
+        optional=tuple(optional),
+        required=tuple(required),
+        excluded=tuple(excluded),
+        phrases=tuple(phrases),
+    )
+    if not query.scoring_terms and not query.excluded:
+        raise QuerySyntaxError(f"empty query: {text!r}")
+    return query
+
+
+def allowed_documents(index: InvertedIndex,
+                      query: ParsedQuery) -> Optional[Set[int]]:
+    """Doc ids of this shard satisfying the constraints.
+
+    Returns None when the query has no constraints (everything allowed).
+    """
+    if query.is_pure_ranking:
+        return None
+    allowed: Optional[Set[int]] = None
+
+    def intersect(candidates: Set[int]) -> Set[int]:
+        nonlocal allowed
+        allowed = candidates if allowed is None else (allowed & candidates)
+        return allowed
+
+    for term in query.required:
+        intersect(set(index.docs_with_term(term)))
+    for phrase in query.phrases:
+        intersect(set(index.docs_with_phrase(list(phrase))))
+    if allowed is None:
+        # Only exclusions: start from every doc containing a scoring
+        # term (or, with no scoring terms at all, nothing matches).
+        allowed = set()
+        for term in query.scoring_terms:
+            allowed |= set(index.docs_with_term(term))
+    for term in query.excluded:
+        allowed -= set(index.docs_with_term(term))
+    return allowed
+
+
+def search_parsed(
+    index: InvertedIndex,
+    query: ParsedQuery,
+    k: int = 10,
+    global_doc_count: Optional[int] = None,
+    global_df: Optional[Dict[str, int]] = None,
+) -> List[Tuple[int, float]]:
+    """Execute a parsed query over one shard: constraints + ranking."""
+    allowed = allowed_documents(index, query)
+    scored = index.search(
+        " ".join(query.scoring_terms), k=max(k, 1_000_000),
+        global_doc_count=global_doc_count, global_df=global_df,
+    )
+    if allowed is not None:
+        scored = [(doc, score) for doc, score in scored if doc in allowed]
+    return scored[:k]

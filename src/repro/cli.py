@@ -1,0 +1,296 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list
+    python -m repro run fig08 --scale bench
+    python -m repro run fig22
+    python -m repro run all --scale quick --out results.txt
+    python -m repro info
+
+Experiment names accept the short form (``fig08``) or the full module
+name (``fig08_output_ratio``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List, Optional, TextIO
+
+from repro.experiments import BENCH, DEFAULT, PAPER, QUICK, SimScale
+
+#: Ordered registry of experiment modules.
+EXPERIMENTS = [
+    "fig02_processing_rate",
+    "fig03_cost",
+    "fig06_fct_cdf",
+    "fig07_nonagg_cdf",
+    "fig08_output_ratio",
+    "fig09_link_traffic",
+    "fig10_agg_fraction",
+    "fig11_oversub",
+    "fig12_partial",
+    "fig13_10g_scaleout",
+    "fig14_stragglers",
+    "fig15_localtree",
+    "fig16_solr_throughput",
+    "fig17_solr_latency",
+    "fig18_solr_ratio",
+    "fig19_solr_tworack",
+    "fig20_solr_scaleout",
+    "fig21_solr_scaleup",
+    "fig22_hadoop_jobs",
+    "fig23_hadoop_ratio",
+    "fig24_hadoop_datasize",
+    "fig25_fair_fixed",
+    "fig26_fair_adaptive",
+    "tab01_loc",
+    "ablation_trees",
+    "ablation_placement",
+    "ablation_streaming",
+    "ablation_routing",
+    "ablation_multicast",
+    "ablation_reducers",
+    "ablation_colocation",
+    "ablation_fattree",
+    "ablation_arrivals",
+]
+
+SCALES = {
+    "quick": QUICK,
+    "bench": BENCH,
+    "default": DEFAULT,
+    "paper": PAPER,
+}
+
+#: Modules whose run() takes a simulation scale.
+_SCALED = {name for name in EXPERIMENTS
+           if name.startswith(("fig0", "fig1")) and not name.startswith(
+               ("fig15", "fig16", "fig17", "fig18", "fig19"))} | {
+    "ablation_trees", "ablation_placement", "ablation_routing",
+    "ablation_arrivals",
+}
+
+
+def resolve(name: str) -> str:
+    """Map a short name (fig08, tab01) to its module name."""
+    if name in EXPERIMENTS:
+        return name
+    matches = [m for m in EXPERIMENTS if m.startswith(name)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise SystemExit(
+            f"unknown experiment {name!r}; try 'python -m repro list'"
+        )
+    raise SystemExit(f"ambiguous experiment {name!r}: {matches}")
+
+
+def run_experiment(name: str, scale: SimScale, seed: int,
+                   out: TextIO, plot: bool = False) -> float:
+    """Run one experiment; returns elapsed seconds."""
+    module = importlib.import_module(f"repro.experiments.{name}")
+    started = time.time()
+    if name in _SCALED:
+        result = module.run(scale=scale, seed=seed)
+    else:
+        result = module.run()
+    elapsed = time.time() - started
+    print(result.to_text(), file=out)
+    if plot:
+        from repro.report import summarise
+
+        print(summarise(result), file=out)
+    print(f"[{elapsed:.1f}s]\n", file=out)
+    return elapsed
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for name in EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:26s} {summary}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = SCALES[args.scale]
+    out: TextIO
+    close = False
+    if args.out:
+        out = open(args.out, "w", encoding="utf-8")
+        close = True
+    else:
+        out = sys.stdout
+    try:
+        names = EXPERIMENTS if args.experiment == "all" \
+            else [resolve(args.experiment)]
+        total = 0.0
+        for name in names:
+            print(f"running {name} (scale={args.scale}) ...",
+                  file=sys.stderr)
+            total += run_experiment(name, scale, args.seed, out,
+                                    plot=args.plot)
+        print(f"done: {len(names)} experiment(s) in {total:.1f}s",
+              file=sys.stderr)
+    finally:
+        if close:
+            out.close()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.topology.threetier import three_tier
+    from repro.workload.synthetic import generate_workload
+    from repro.workload.traces import (
+        load_workload,
+        save_workload,
+        workload_summary,
+    )
+
+    if args.trace_command == "generate":
+        scale = SCALES[args.scale]
+        topo = three_tier(scale.topo)
+        workload = generate_workload(topo, scale.workload, seed=args.seed)
+        save_workload(workload, args.out)
+        print(f"wrote {len(workload.jobs)} jobs + "
+              f"{len(workload.background)} background flows to {args.out}")
+        return 0
+    if args.trace_command == "inspect":
+        workload = load_workload(args.trace)
+        for key, value in workload_summary(workload).items():
+            if isinstance(value, float):
+                print(f"{key:28s} {value:,.3f}")
+            else:
+                print(f"{key:28s} {value:,}")
+        return 0
+    raise SystemExit(f"unknown trace command {args.trace_command!r}")
+
+
+#: Strategy name -> (factory, needs agg boxes deployed).
+STRATEGIES = {
+    "none": ("NoAggregationStrategy", False),
+    "rack": ("RackLevelStrategy", False),
+    "binary": ("BinaryTreeStrategy", False),
+    "chain": ("ChainStrategy", False),
+    "netagg": ("NetAggStrategy", True),
+}
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    import repro.aggregation as aggregation
+    from repro.netsim.metrics import fct_summary, slowdown_summary
+    from repro.netsim.simulator import FlowSim
+    from repro.topology.threetier import three_tier
+    from repro.workload.traces import load_workload
+
+    workload = load_workload(args.trace)
+    scale = SCALES[args.scale]
+    rows = []
+    names = sorted(STRATEGIES) if args.strategy == "all" \
+        else [args.strategy]
+    for name in names:
+        factory_name, needs_boxes = STRATEGIES[name]
+        strategy = getattr(aggregation, factory_name)()
+        topo = three_tier(scale.topo)
+        if needs_boxes:
+            aggregation.deploy_boxes(topo)
+        sim = FlowSim(topo.network)
+        sim.add_flows(strategy.plan(workload, topo))
+        result = sim.run()
+        fct = fct_summary(result)
+        slow = slowdown_summary(result, topo.network)
+        rows.append((name, fct, slow))
+        print(f"{name:8s} p50 {fct.median * 1e3:8.2f} ms   "
+              f"p99 {fct.p99 * 1e3:8.2f} ms   "
+              f"slowdown p99 {slow.p99:6.2f}x   "
+              f"({fct.count} flows)")
+    if len(rows) > 1:
+        best = min(rows, key=lambda r: r[1].p99)
+        print(f"\nbest 99th-percentile FCT: {best[0]}")
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — NetAgg (CoNEXT 2014) reproduction")
+    print(f"{len(EXPERIMENTS)} experiments; scales: {', '.join(SCALES)}")
+    for label, scale in SCALES.items():
+        topo = scale.topo
+        print(f"  {label:8s} {topo.n_hosts:5d} hosts, "
+              f"{scale.workload.n_flows} flows")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate NetAgg's evaluation figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments").set_defaults(
+        func=cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment name (fig08, tab01, ...) or 'all'")
+    run.add_argument("--scale", choices=sorted(SCALES), default="bench",
+                     help="simulation scale (default: bench)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--out", help="write tables to a file")
+    run.add_argument("--plot", action="store_true",
+                     help="append sparkline summaries to the tables")
+    run.set_defaults(func=cmd_run)
+
+    trace = sub.add_parser("trace",
+                           help="generate or inspect workload traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    generate = trace_sub.add_parser(
+        "generate", help="write a synthetic workload as JSONL")
+    generate.add_argument("--scale", choices=sorted(SCALES),
+                          default="bench")
+    generate.add_argument("--seed", type=int, default=1)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=cmd_trace)
+    inspect = trace_sub.add_parser(
+        "inspect", help="summarise a JSONL workload trace")
+    inspect.add_argument("trace")
+    inspect.set_defaults(func=cmd_trace)
+
+    replay = sub.add_parser(
+        "replay", help="replay a JSONL trace through a strategy")
+    replay.add_argument("trace")
+    replay.add_argument("--strategy", default="all",
+                        choices=sorted(STRATEGIES) + ["all"])
+    replay.add_argument("--scale", choices=sorted(SCALES),
+                        default="bench",
+                        help="topology to replay on (must contain the "
+                             "trace's hosts)")
+    replay.set_defaults(func=cmd_replay)
+
+    sub.add_parser("info", help="version and scale summary").set_defaults(
+        func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other tools.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Deterministic emulator of the paper's 34-server testbed (§4.2).
+
+The testbed: two racks, each with one 12-core master, ten 4-core
+workers, five client machines, 1 Gbps edge links, and an agg box on a
+10 Gbps link.  We model it as a queueing network -- NICs are rate
+servers, CPU pools are multi-server queues -- driven by the discrete-
+event engine, with application behaviour (result sizes, output ratios,
+CPU costs) *measured* from real runs of the mini apps.
+
+- :mod:`repro.cluster.emulator` -- resources and transfer chains;
+- :mod:`repro.cluster.deployment` -- the testbed configuration;
+- :mod:`repro.cluster.solr_driver` -- closed-loop search workload
+  (Figs. 16-21);
+- :mod:`repro.cluster.hadoop_driver` -- batch job execution
+  (Figs. 22-24).
+"""
+
+from repro.cluster.deployment import TestbedConfig
+from repro.cluster.emulator import Resource, TransferChain
+from repro.cluster.hadoop_driver import HadoopEmulation, HadoopRunResult
+from repro.cluster.solr_driver import SolrEmulation, SolrRunResult
+
+__all__ = [
+    "Resource",
+    "TransferChain",
+    "TestbedConfig",
+    "SolrEmulation",
+    "SolrRunResult",
+    "HadoopEmulation",
+    "HadoopRunResult",
+]

@@ -1,0 +1,107 @@
+"""Queueing resources for the testbed emulator.
+
+A :class:`Resource` is a FIFO queue in front of one or more rate
+servers: NICs are single-server resources whose work is bytes, CPU pools
+are multi-server resources whose work is core-seconds.  A
+:class:`TransferChain` runs a piece of work through several resources in
+sequence (e.g. sender NIC then receiver NIC), which pipelines across
+independent transfers exactly like store-and-forward hops.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Sequence, Tuple
+
+from repro.netsim.engine import EventQueue
+
+
+class Resource:
+    """A FIFO multi-server rate resource."""
+
+    def __init__(self, queue: EventQueue, name: str, rate: float,
+                 servers: int = 1) -> None:
+        if rate <= 0:
+            raise ValueError(f"resource {name!r} needs rate > 0")
+        if servers < 1:
+            raise ValueError(f"resource {name!r} needs servers >= 1")
+        self._queue = queue
+        self.name = name
+        self.rate = rate
+        self.servers = servers
+        self._free = servers
+        self._waiting: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self.busy_time = 0.0
+        self.completed = 0
+
+    def request(self, amount: float, done: Callable[[], None]) -> None:
+        """Enqueue ``amount`` units of work; ``done`` fires on completion."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        self._waiting.append((amount, done))
+        self._pump()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def utilisation(self, elapsed: float) -> float:
+        """Average busy fraction over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.servers)
+
+    def _pump(self) -> None:
+        while self._free > 0 and self._waiting:
+            amount, done = self._waiting.popleft()
+            self._free -= 1
+            service = amount / self.rate
+            self.busy_time += service
+
+            def finish(cb=done):
+                self._free += 1
+                self.completed += 1
+                cb()
+                self._pump()
+
+            self._queue.schedule(service, finish)
+
+
+@dataclass
+class TransferChain:
+    """Run work through resources in sequence, then call ``done``."""
+
+    stages: Sequence[Tuple[Resource, float]]
+
+    def start(self, done: Callable[[], None]) -> None:
+        stages = list(self.stages)
+
+        def advance(index: int) -> None:
+            if index >= len(stages):
+                done()
+                return
+            resource, amount = stages[index]
+            resource.request(amount, lambda: advance(index + 1))
+
+        advance(0)
+
+
+class Barrier:
+    """Invoke a callback after ``count`` arms complete."""
+
+    def __init__(self, count: int, done: Callable[[], None]) -> None:
+        if count < 1:
+            raise ValueError("barrier needs count >= 1")
+        self._remaining = count
+        self._done = done
+
+    def arm(self) -> Callable[[], None]:
+        def arrive() -> None:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._done()
+            elif self._remaining < 0:
+                raise RuntimeError("barrier over-released")
+
+        return arrive

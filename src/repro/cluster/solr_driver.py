@@ -1,0 +1,233 @@
+"""Closed-loop search workload on the emulated testbed (Figs. 16-21).
+
+Each client runs a closed loop: issue a query, wait for the response,
+repeat.  A query scatters to every backend; each backend spends CPU time
+producing a partial result of ``result_bytes`` and ships it either
+straight to the frontend (plain Solr) or into its rack's agg box
+(NetAgg), which merges all partials and forwards ``alpha``-scaled data.
+
+Measured outputs mirror the paper's: *network throughput* is the rate of
+partial-result bytes the backends inject (what the agg box / frontend
+must absorb), and response latency is the client-observed request time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.deployment import TestbedConfig
+from repro.cluster.emulator import Barrier, Resource
+from repro.netsim.engine import EventQueue
+from repro.units import KB, percentile, to_gbps
+
+
+@dataclass(frozen=True)
+class SolrEmulationParams:
+    """One experiment configuration.
+
+    Attributes:
+        n_clients: closed-loop clients across all racks.
+        result_bytes: partial-result size per backend per query (the
+            paper: "results are of the order of hundreds of kilobytes").
+        backend_cpu_seconds: per-query search time on one backend core.
+        use_netagg: route partial results through the agg box(es).
+        alpha: aggregation output ratio of the deployed function.
+        agg_cpu_factor: CPU multiplier of the aggregation function
+            (1.0 = sample-like, >> 1 = categorise-like).
+        frontend_cpu_seconds: master-side merge cost per response.
+        duration: emulated seconds.
+        seed: jitter seed.
+    """
+
+    n_clients: int = 30
+    result_bytes: float = 200 * KB
+    backend_cpu_seconds: float = 0.012
+    use_netagg: bool = False
+    alpha: float = 0.05
+    agg_cpu_factor: float = 0.25
+    frontend_cpu_seconds: float = 0.001
+    duration: float = 20.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.result_bytes <= 0 or self.duration <= 0:
+            raise ValueError("sizes and duration must be positive")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+
+@dataclass
+class SolrRunResult:
+    """Measured outcome of one emulated run."""
+
+    requests_completed: int
+    duration: float
+    injected_bytes: float
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_bytes(self) -> float:
+        return self.injected_bytes / self.duration
+
+    @property
+    def throughput_gbps(self) -> float:
+        return to_gbps(self.throughput_bytes)
+
+    @property
+    def p99_latency(self) -> float:
+        return percentile(self.latencies, 99.0)
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies)
+
+
+class SolrEmulation:
+    """Build and run the closed-loop search emulation."""
+
+    def __init__(self, config: TestbedConfig = TestbedConfig(),
+                 params: SolrEmulationParams = SolrEmulationParams()) -> None:
+        self._config = config
+        self._params = params
+
+    def run(self) -> SolrRunResult:
+        config, params = self._config, self._params
+        queue = EventQueue()
+        rng = random.Random(params.seed)
+
+        # -- resources ---------------------------------------------------------
+        frontend_in = Resource(queue, "frontend-in", config.edge_rate)
+        frontend_cpu = Resource(queue, "frontend-cpu", 1.0,
+                                servers=config.master_cores)
+        backend_nics = [
+            Resource(queue, f"backend-out:{i}", config.edge_rate)
+            for i in range(config.n_backends)
+        ]
+        backend_cpus = [
+            Resource(queue, f"backend-cpu:{i}", 1.0,
+                     servers=config.backend_cores)
+            for i in range(config.n_backends)
+        ]
+        n_boxes = config.racks * config.boxes_per_rack
+        box_in = [
+            Resource(queue, f"box-in:{b}", config.box_link_rate)
+            for b in range(n_boxes)
+        ]
+        box_cpu = [
+            Resource(queue, f"box-cpu:{b}", 1.0, servers=config.box_cores)
+            for b in range(n_boxes)
+        ]
+        box_out = [
+            Resource(queue, f"box-out:{b}", config.box_link_rate)
+            for b in range(n_boxes)
+        ]
+
+        stats = SolrRunResult(requests_completed=0,
+                              duration=params.duration,
+                              injected_bytes=0.0)
+
+        def backend_box(index: int, request_seq: int) -> int:
+            """Scale-out: hash requests over the rack's boxes."""
+            rack = index // config.backends_per_rack
+            offset = request_seq % config.boxes_per_rack
+            return rack * config.boxes_per_rack + offset
+
+        def issue(client_id: int, seq: int) -> None:
+            if queue.now >= params.duration:
+                return
+            started = queue.now
+            request_seq = client_id * 1_000_003 + seq
+
+            def finish() -> None:
+                stats.requests_completed += 1
+                stats.latencies.append(queue.now - started)
+                issue(client_id, seq + 1)
+
+            def deliver_to_frontend(nbytes: float) -> None:
+                frontend_in.request(nbytes, lambda: frontend_cpu.request(
+                    params.frontend_cpu_seconds, finish))
+
+            if not params.use_netagg:
+                barrier = Barrier(config.n_backends, lambda: frontend_cpu
+                                  .request(params.frontend_cpu_seconds,
+                                           finish))
+                for i in range(config.n_backends):
+                    arrive = barrier.arm()
+
+                    def through_frontend(i=i, arrive=arrive) -> None:
+                        stats.injected_bytes += params.result_bytes
+                        backend_nics[i].request(
+                            params.result_bytes,
+                            lambda: frontend_in.request(params.result_bytes,
+                                                        arrive),
+                        )
+
+                    backend_cpus[i].request(
+                        self._jittered(rng, params.backend_cpu_seconds),
+                        through_frontend,
+                    )
+                return
+
+            # NetAgg path: group backends by their box for this request.
+            groups: Dict[int, List[int]] = {}
+            for i in range(config.n_backends):
+                groups.setdefault(backend_box(i, request_seq), []).append(i)
+            fan_in = Barrier(len(groups), lambda: frontend_cpu.request(
+                params.frontend_cpu_seconds, finish))
+            for box_index, members in groups.items():
+                box_done = fan_in.arm()
+                aggregate_in = params.result_bytes * len(members)
+                out_bytes = params.alpha * aggregate_in
+
+                def box_phase(box_index=box_index, box_done=box_done,
+                              aggregate_in=aggregate_in,
+                              out_bytes=out_bytes) -> None:
+                    merge_cpu = (params.agg_cpu_factor * aggregate_in
+                                 / config.core_rate)
+                    box_cpu[box_index].request(
+                        merge_cpu,
+                        lambda: box_out[box_index].request(
+                            out_bytes,
+                            lambda: frontend_in.request(
+                                out_bytes,
+                                lambda: box_done(),
+                            ),
+                        ),
+                    )
+
+                collect = Barrier(len(members), box_phase)
+                for i in members:
+                    arrive = collect.arm()
+
+                    def into_box(i=i, box_index=box_index,
+                                 arrive=arrive) -> None:
+                        stats.injected_bytes += params.result_bytes
+                        backend_nics[i].request(
+                            params.result_bytes,
+                            lambda: box_in[box_index].request(
+                                params.result_bytes, arrive),
+                        )
+
+                    backend_cpus[i].request(
+                        self._jittered(rng, params.backend_cpu_seconds),
+                        into_box,
+                    )
+
+        for client in range(params.n_clients):
+            # Stagger client starts a hair so ties don't synchronise.
+            queue.schedule(client * 1e-4, lambda c=client: issue(c, 0))
+        queue.run(until=params.duration)
+
+        if not stats.latencies:
+            raise RuntimeError(
+                "no request completed; duration too short for the load"
+            )
+        return stats
+
+    @staticmethod
+    def _jittered(rng: random.Random, value: float) -> float:
+        return value * (0.9 + 0.2 * rng.random())

@@ -1,0 +1,56 @@
+"""The NetAgg platform core (§3 of the paper).
+
+- :mod:`repro.core.tree` -- construction of distributed aggregation
+  trees over the agg boxes of a topology (switch lanes, box assignment,
+  multiple disjoint trees per application);
+- :mod:`repro.core.shim` -- the edge-server shim layers: transparent
+  redirection, request metadata, partial-result collection and
+  empty-result emulation at the master;
+- :mod:`repro.core.platform` -- the platform object: box runtimes wired
+  to a topology, application registration, functional end-to-end request
+  execution;
+- :mod:`repro.core.failure` -- failure detection and recovery (child
+  rewiring + duplicate suppression);
+- :mod:`repro.core.straggler` -- straggler mitigation (per-request
+  redirect, permanent failover for repeat offenders).
+"""
+
+from repro.core.failure import FailureDetector, rewire_failed_box
+from repro.core.multicast import (
+    MulticastTree,
+    build_multicast_tree,
+    multicast_link_copies,
+    plan_multicast_flows,
+    plan_unicast_flows,
+)
+from repro.core.platform import NetAggPlatform
+from repro.core.recovery import InFlightRequest, RecoveryLog
+from repro.core.shim import MasterShim, WorkerShim
+from repro.core.sockets import (
+    NetAggSocketFactory,
+    SocketFactory,
+)
+from repro.core.straggler import StragglerMonitor, StragglerPolicy
+from repro.core.tree import AggregationTree, BoxVertex, TreeBuilder
+
+__all__ = [
+    "AggregationTree",
+    "BoxVertex",
+    "TreeBuilder",
+    "MasterShim",
+    "WorkerShim",
+    "NetAggPlatform",
+    "FailureDetector",
+    "rewire_failed_box",
+    "StragglerMonitor",
+    "StragglerPolicy",
+    "InFlightRequest",
+    "RecoveryLog",
+    "SocketFactory",
+    "NetAggSocketFactory",
+    "MulticastTree",
+    "build_multicast_tree",
+    "plan_multicast_flows",
+    "plan_unicast_flows",
+    "multicast_link_copies",
+]

@@ -1,0 +1,298 @@
+"""The NetAgg platform: boxes + shims wired to a topology.
+
+This is the *functional* half of the reproduction: it executes real
+application requests end-to-end through the same aggregation trees the
+flow-level simulator prices, so results computed "through NetAgg" can be
+checked for exact equality against a centralised computation.
+
+Execution model:
+
+- online requests (Solr-style) hash onto one aggregation tree each;
+- batch jobs (Hadoop-style) split keyed data across all trees and merge
+  the per-tree aggregates at the master;
+- worker payloads travel as framed binary (the :mod:`repro.wire` layer),
+  delivered to boxes in bounded chunks, so streaming deserialisation is
+  exercised on every request;
+- failed boxes are rewired out of the trees per §3.1 before execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aggbox.box import AggBoxRuntime, AppBinding
+from repro.aggbox.functions import AggregationFunction
+from repro.core.failure import rewire_failed_box
+from repro.core.shim import MasterShim, WorkerShim
+from repro.core.tree import AggregationTree, TreeBuilder
+from repro.netsim.routing import stable_hash
+from repro.topology.base import Topology
+from repro.wire.framing import frame
+
+#: Partial-result payloads are delivered to boxes in chunks of this size
+#: to exercise frame reassembly across chunk boundaries.
+_CHUNK_BYTES = 1024
+
+
+@dataclass
+class RequestOutcome:
+    """Result of one end-to-end request execution."""
+
+    request_id: str
+    value: Any
+    #: (worker_index, payload) pairs the master application observes; all
+    #: but one are empty (the shim's empty-result emulation).
+    worker_responses: List[Tuple[int, Any]]
+    #: Boxes that performed aggregation work, in completion order.
+    boxes_used: List[str]
+    #: Trees used (one for online requests, all for batch jobs).
+    trees_used: List[int]
+    #: Bytes of framed partial-result data entering boxes.
+    bytes_into_boxes: float
+
+
+class NetAggPlatform:
+    """Deployment of NetAgg over a topology with attached agg boxes."""
+
+    def __init__(self, topo: Topology) -> None:
+        self._topo = topo
+        self._builder = TreeBuilder(topo)
+        self._boxes: Dict[str, AggBoxRuntime] = {
+            info.box_id: AggBoxRuntime(info.box_id)
+            for info in topo.all_boxes()
+        }
+        self._functions: Dict[str, AggregationFunction] = {}
+        self._mergers: Dict[str, Callable[[Sequence[Any]], Any]] = {}
+        self._failed: Set[str] = set()
+        self._master_shims: Dict[str, MasterShim] = {}
+
+    # -- deployment ------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        return self._topo
+
+    def box_runtime(self, box_id: str) -> AggBoxRuntime:
+        return self._boxes[box_id]
+
+    def register_app(
+        self,
+        app: str,
+        function: AggregationFunction,
+        serialise: Callable[[Any], bytes],
+        deserialise: Callable[[bytes], Any],
+    ) -> None:
+        """Install an application's aggregation function on every box."""
+        if app in self._functions:
+            raise ValueError(f"app {app!r} already registered")
+        self._functions[app] = function
+        self._mergers[app] = lambda parts: function.merge(list(parts))
+        for runtime in self._boxes.values():
+            runtime.register_app(AppBinding(
+                app=app,
+                function=function,
+                deserialise=deserialise,
+                serialise=serialise,
+            ))
+
+    def apps(self) -> List[str]:
+        return sorted(self._functions)
+
+    def fail_box(self, box_id: str) -> None:
+        """Mark a box failed; future trees route around it (§3.1)."""
+        if box_id not in self._boxes:
+            raise KeyError(f"unknown box {box_id!r}")
+        self._failed.add(box_id)
+
+    def recover_box(self, box_id: str) -> None:
+        self._failed.discard(box_id)
+
+    def failed_boxes(self) -> Set[str]:
+        return set(self._failed)
+
+    # -- execution ------------------------------------------------------------
+
+    def build_trees(self, key: str, master: str,
+                    worker_hosts: Sequence[str],
+                    n_trees: int = 1) -> List[AggregationTree]:
+        """Aggregation trees for the endpoints, failures rewired out."""
+        trees = self._builder.build_many(key, master, worker_hosts, n_trees)
+        for i, tree in enumerate(trees):
+            for box_id in sorted(self._failed):
+                if box_id in tree.boxes:
+                    tree = rewire_failed_box(tree, box_id)
+            trees[i] = tree
+        return trees
+
+    def execute_request(
+        self,
+        app: str,
+        request_id: str,
+        master: str,
+        worker_partials: Sequence[Tuple[str, Any]],
+        n_trees: int = 1,
+    ) -> RequestOutcome:
+        """Run one online request end-to-end (one tree, by request hash)."""
+        self._check_app(app)
+        trees = self.build_trees(request_id, master,
+                                 [h for h, _ in worker_partials], n_trees)
+        chosen = trees[stable_hash(request_id) % len(trees)]
+        return self._run_on_trees(app, request_id, master,
+                                  worker_partials, [chosen])
+
+    def execute_batch(
+        self,
+        app: str,
+        job_id: str,
+        master: str,
+        worker_keyed_items: Sequence[Tuple[str, List[Tuple[str, Any]]]],
+        n_trees: int = 1,
+        rebundle: Optional[Callable[[List[Any]], Any]] = None,
+    ) -> RequestOutcome:
+        """Run a batch job: keyed items split across all trees (§3.1).
+
+        ``worker_keyed_items`` maps each worker host to its keyed partial
+        data; ``rebundle`` turns one worker's per-tree item list into the
+        partial-result value the aggregation function expects (defaults
+        to the identity on lists).
+        """
+        self._check_app(app)
+        rebundle = rebundle or (lambda items: items)
+        hosts = [h for h, _ in worker_keyed_items]
+        trees = self.build_trees(job_id, master, hosts, n_trees)
+        shims = [
+            WorkerShim(host, index, trees)
+            for index, host in enumerate(hosts)
+        ]
+        outcomes = []
+        for tree in trees:
+            partials: List[Tuple[str, Any]] = []
+            for index, (host, keyed) in enumerate(worker_keyed_items):
+                split = shims[index].split(keyed)
+                partials.append((host, rebundle(split[tree.tree_index])))
+            outcomes.append(self._run_on_trees(
+                app, f"{job_id}:t{tree.tree_index}", master,
+                partials, [tree],
+            ))
+        merged = self._mergers[app](
+            [outcome.value for outcome in outcomes]
+        )
+        boxes_used = [b for o in outcomes for b in o.boxes_used]
+        responses: List[Tuple[int, Any]] = [(0, merged)]
+        responses.extend((i, None) for i in range(1, len(hosts)))
+        return RequestOutcome(
+            request_id=job_id,
+            value=merged,
+            worker_responses=responses,
+            boxes_used=boxes_used,
+            trees_used=[t.tree_index for t in trees],
+            bytes_into_boxes=sum(o.bytes_into_boxes for o in outcomes),
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_app(self, app: str) -> None:
+        if app not in self._functions:
+            raise KeyError(f"app {app!r} is not registered")
+
+    def _run_on_trees(
+        self,
+        app: str,
+        request_id: str,
+        master: str,
+        worker_partials: Sequence[Tuple[str, Any]],
+        trees: Sequence[AggregationTree],
+    ) -> RequestOutcome:
+        shim = self._master_shims.setdefault(master, MasterShim(master))
+        shim.intercept_request(request_id, trees)
+        boxes_used: List[str] = []
+        bytes_in = 0.0
+        rng = random.Random(stable_hash(request_id) & 0xFFFF)
+
+        for tree in trees:
+            # Announce expected input counts to each participating box.
+            for box_id, vertex in tree.boxes.items():
+                expected = len(vertex.direct_workers) + len(vertex.children)
+                self._boxes[box_id].announce(app, self._tree_request(
+                    request_id, tree), expected)
+
+            # Workers emit; shims redirect into the entry boxes.
+            ready: Dict[str, Any] = {}
+            for index, (host, value) in enumerate(worker_partials):
+                entry = tree.worker_entry[index]
+                if entry is None:
+                    shim.deliver_direct(request_id, index, value)
+                    continue
+                emitted, nbytes = self._feed_box(
+                    app, self._tree_request(request_id, tree), entry,
+                    f"worker:{index}", value, rng,
+                )
+                bytes_in += nbytes
+                if emitted is not None:
+                    ready[entry] = emitted
+
+            # Propagate aggregates up the tree until the roots emit.
+            progress = True
+            while progress:
+                progress = False
+                for box_id in list(ready):
+                    emitted = ready.pop(box_id)
+                    boxes_used.append(box_id)
+                    vertex = tree.boxes[box_id]
+                    if vertex.parent is None:
+                        shim.deliver_aggregate(request_id, tree.tree_index,
+                                               emitted.value)
+                    else:
+                        parent_emitted, nbytes = self._feed_box(
+                            app, self._tree_request(request_id, tree),
+                            vertex.parent, f"box:{box_id}", emitted.value,
+                            rng,
+                        )
+                        bytes_in += nbytes
+                        if parent_emitted is not None:
+                            ready[vertex.parent] = parent_emitted
+                    progress = True
+
+            if not tree.boxes and tree.direct_workers():
+                # Degenerate tree: no boxes anywhere, all direct.
+                pass
+
+        if not shim.is_complete(request_id):
+            raise RuntimeError(
+                f"request {request_id!r} incomplete: boxes never emitted "
+                "(inconsistent expected counts?)"
+            )
+        responses = shim.emulate_worker_responses(
+            request_id, merge=self._mergers[app]
+        )
+        return RequestOutcome(
+            request_id=request_id,
+            value=responses[0][1],
+            worker_responses=responses,
+            boxes_used=boxes_used,
+            trees_used=[t.tree_index for t in trees],
+            bytes_into_boxes=bytes_in,
+        )
+
+    @staticmethod
+    def _tree_request(request_id: str, tree: AggregationTree) -> str:
+        return f"{request_id}@t{tree.tree_index}"
+
+    def _feed_box(self, app: str, request_id: str, box_id: str,
+                  source: str, value: Any, rng: random.Random):
+        """Serialise, frame, chunk and deliver one partial to a box."""
+        runtime = self._boxes[box_id]
+        binding = runtime.binding(app)
+        payload = frame(binding.serialise(value))
+        emitted = None
+        offset = 0
+        while offset < len(payload):
+            size = rng.randint(1, _CHUNK_BYTES)
+            chunk = payload[offset:offset + size]
+            offset += size
+            result = runtime.submit_chunk(app, request_id, source, chunk)
+            if result is not None:
+                emitted = result
+        return emitted, float(len(payload))

@@ -1,0 +1,179 @@
+"""Shim layers (§3.2.2).
+
+Shims intercept application traffic at the socket layer and interact
+with the agg boxes so applications need no modification:
+
+- :class:`WorkerShim` redirects a worker's outgoing partial result to
+  the first agg box along its path (or lets it pass through to the
+  master when no box is on the path), splitting data across multiple
+  aggregation trees by key hash;
+- :class:`MasterShim` records per-request metadata (how many partial
+  results the workers will produce), announces it to the boxes, collects
+  the aggregated results, and *emulates empty partial results* from all
+  but one worker so that unmodified master logic -- which expects one
+  response per worker -- still works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.tree import AggregationTree
+from repro.netsim.routing import stable_hash
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """Where a worker's partial result should go."""
+
+    tree_index: int
+    #: Entry box id, or None to pass through to the master unmodified.
+    box_id: Optional[str]
+
+
+class WorkerShim:
+    """Socket-level interception on a worker host."""
+
+    def __init__(self, host: str, worker_index: int,
+                 trees: Sequence[AggregationTree]) -> None:
+        if not trees:
+            raise ValueError("worker shim needs at least one tree")
+        self.host = host
+        self.worker_index = worker_index
+        self._trees = list(trees)
+        for tree in self._trees:
+            if worker_index not in tree.worker_entry:
+                raise ValueError(
+                    f"worker {worker_index} missing from tree {tree.key}"
+                )
+
+    def redirect_for(self, partition_key: str) -> Redirect:
+        """Pick the aggregation tree (by key hash) and its entry box.
+
+        Online services hash request identifiers; batch applications hash
+        data keys (§3.1, "Multiple aggregation trees per application").
+        """
+        index = stable_hash(partition_key) % len(self._trees)
+        tree = self._trees[index]
+        return Redirect(tree_index=index,
+                        box_id=tree.worker_entry[self.worker_index])
+
+    def split(self, items: Sequence[Tuple[str, Any]]
+              ) -> Dict[int, List[Any]]:
+        """Partition keyed items across the trees (batch applications)."""
+        parts: Dict[int, List[Any]] = {i: [] for i in range(len(self._trees))}
+        for key, item in items:
+            parts[stable_hash(key) % len(self._trees)].append(item)
+        return parts
+
+
+@dataclass
+class _RequestEntry:
+    """Master-side state about one in-flight request."""
+
+    request_id: str
+    n_workers: int
+    expected_per_tree: Dict[int, int]
+    received: Dict[int, Any] = field(default_factory=dict)
+    direct_results: List[Tuple[int, Any]] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        trees_done = all(
+            index in self.received
+            for index, expected in self.expected_per_tree.items()
+            if expected > 0
+        )
+        return trees_done
+
+
+class MasterShim:
+    """Socket-level interception on the master host."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self._requests: Dict[str, _RequestEntry] = {}
+
+    def intercept_request(self, request_id: str,
+                          trees: Sequence[AggregationTree]) -> Dict[int, int]:
+        """Record an outgoing request's metadata.
+
+        Returns, per tree index, the number of partial results the boxes
+        of that tree should expect at their leaves -- the announcement
+        the shim sends to agg boxes (§3.2.2, "Partial result collection").
+        """
+        if request_id in self._requests:
+            raise ValueError(f"duplicate request id {request_id!r}")
+        if not trees:
+            raise ValueError("request needs at least one tree")
+        n_workers = len(trees[0].worker_entry)
+        expected = {
+            tree.tree_index: n_workers - len(tree.direct_workers())
+            for tree in trees
+        }
+        self._requests[request_id] = _RequestEntry(
+            request_id=request_id,
+            n_workers=n_workers,
+            expected_per_tree=expected,
+        )
+        return expected
+
+    def deliver_aggregate(self, request_id: str, tree_index: int,
+                          value: Any) -> None:
+        """An aggregation tree's root result arrived."""
+        entry = self._entry(request_id)
+        if tree_index in entry.received:
+            raise ValueError(
+                f"duplicate aggregate for {request_id!r} tree {tree_index}"
+            )
+        entry.received[tree_index] = value
+
+    def deliver_direct(self, request_id: str, worker_index: int,
+                       value: Any) -> None:
+        """A worker's unaggregated partial result arrived (no on-path box)."""
+        entry = self._entry(request_id)
+        entry.direct_results.append((worker_index, value))
+
+    def is_complete(self, request_id: str) -> bool:
+        return self._entry(request_id).complete
+
+    def emulate_worker_responses(self, request_id: str,
+                                 merge: Any = None) -> List[Tuple[int, Any]]:
+        """Produce one response per worker for the unmodified master.
+
+        All aggregated data is attached to the lowest worker index; every
+        other worker yields an *empty* partial result.  Safe because the
+        aggregation function is associative and commutative (§3.2.2,
+        "Empty partial results").  ``merge`` combines the per-tree
+        aggregates when the application used multiple trees (the master's
+        final aggregation step); with one tree it may be None.
+        """
+        entry = self._entry(request_id)
+        if not entry.complete:
+            raise RuntimeError(f"request {request_id!r} still in flight")
+        aggregates = [entry.received[i] for i in sorted(entry.received)]
+        direct = [value for _, value in sorted(entry.direct_results)]
+        parts = aggregates + direct
+        if len(parts) == 1:
+            combined = parts[0]
+        else:
+            if merge is None:
+                raise ValueError(
+                    "multiple aggregates need a merge function at the master"
+                )
+            combined = merge(parts)
+        responses: List[Tuple[int, Any]] = [(0, combined)]
+        responses.extend((i, None) for i in range(1, entry.n_workers))
+        return responses
+
+    def pending_requests(self) -> List[str]:
+        return sorted(
+            rid for rid, entry in self._requests.items() if not entry.complete
+        )
+
+    def _entry(self, request_id: str) -> _RequestEntry:
+        entry = self._requests.get(request_id)
+        if entry is None:
+            raise KeyError(f"unknown request {request_id!r}")
+        return entry

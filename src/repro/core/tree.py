@@ -1,0 +1,269 @@
+"""Distributed aggregation-tree construction (§3.1).
+
+A tree spans the agg boxes between a job's workers and its master: the
+root is the master, leaves are workers, internal vertices are boxes.
+Construction is deterministic per (key, tree index):
+
+- each tree hashes one *lane* through the multi-rooted topology (one
+  aggregation switch per pod, one core switch), so different trees of
+  the same application spread over disjoint boxes and paths;
+- a worker's partial results enter the *first box along its lane* to the
+  master; box-less switches are skipped (partial deployments);
+- when several boxes share a switch, the (key, tree, switch) hash picks
+  one, balancing trees across boxes (scale-out).
+
+Both the flow-level :class:`repro.aggregation.NetAggStrategy` and the
+functional :class:`repro.core.platform.NetAggPlatform` build their trees
+here, so the simulated and executed systems are wired identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netsim.routing import stable_hash
+from repro.topology.base import AGGR, CORE, AggBoxInfo, Topology
+
+
+@dataclass
+class BoxVertex:
+    """One agg box participating in a tree."""
+
+    info: AggBoxInfo
+    #: Parent box id, or None when this box feeds the master directly.
+    parent: Optional[str] = None
+    #: Switch-node lane from this box's switch to the parent's switch
+    #: (or to the master's ToR), inclusive of both endpoints.
+    lane_to_parent: Tuple[str, ...] = ()
+    #: Child box ids.
+    children: List[str] = field(default_factory=list)
+    #: Indices of workers whose partials enter the tree at this box.
+    direct_workers: List[int] = field(default_factory=list)
+
+
+@dataclass
+class AggregationTree:
+    """One aggregation tree of an application request/job."""
+
+    key: str
+    tree_index: int
+    master: str
+    master_tor: str
+    #: worker index -> entry box id (None = no box on path, direct).
+    worker_entry: Dict[int, Optional[str]]
+    #: worker index -> switch-node lane from the worker's ToR to either
+    #: the entry box's switch (inclusive) or the master's ToR (direct).
+    worker_lane: Dict[int, Tuple[str, ...]]
+    boxes: Dict[str, BoxVertex]
+
+    def roots(self) -> List[str]:
+        """Box ids that feed the master directly."""
+        return sorted(
+            box_id for box_id, vertex in self.boxes.items()
+            if vertex.parent is None
+        )
+
+    def direct_workers(self) -> List[int]:
+        """Workers with no box on their path (ship straight to master)."""
+        return sorted(
+            idx for idx, entry in self.worker_entry.items() if entry is None
+        )
+
+    def depth_of(self, box_id: str) -> int:
+        """Hops from a box to the master along parent pointers."""
+        depth = 1
+        vertex = self.boxes[box_id]
+        while vertex.parent is not None:
+            vertex = self.boxes[vertex.parent]
+            depth += 1
+        return depth
+
+
+class TreeConstructionError(RuntimeError):
+    """Raised when lanes produce an inconsistent parent relation."""
+
+
+class TreeBuilder:
+    """Builds aggregation trees over a topology's deployed boxes."""
+
+    def __init__(self, topo: Topology) -> None:
+        self._topo = topo
+
+    def build(self, key: str, master: str, worker_hosts: Sequence[str],
+              tree_index: int = 0) -> AggregationTree:
+        """Build the ``tree_index``-th tree for the given endpoints."""
+        topo = self._topo
+        master_tor = topo.tor_of(master)
+        master_pod = topo.pod_of(master)
+        tree = AggregationTree(
+            key=key,
+            tree_index=tree_index,
+            master=master,
+            master_tor=master_tor,
+            worker_entry={},
+            worker_lane={},
+            boxes={},
+        )
+        for index, host in enumerate(worker_hosts):
+            if host == master:
+                raise ValueError(
+                    f"master {host!r} cannot also be a worker ({key})"
+                )
+            lane = self.lane(key, tree_index, host, master_tor, master_pod)
+            on_path = [s for s in lane if topo.boxes_at(s)]
+            if not on_path:
+                tree.worker_entry[index] = None
+                tree.worker_lane[index] = tuple(lane)
+                continue
+            self._register_boxes(tree, key, tree_index, lane, on_path)
+            entry_id = self.box_id(key, tree_index, on_path[0])
+            tree.worker_entry[index] = entry_id
+            tree.worker_lane[index] = tuple(
+                lane[: lane.index(on_path[0]) + 1]
+            )
+            tree.boxes[entry_id].direct_workers.append(index)
+        return tree
+
+    def build_many(self, key: str, master: str,
+                   worker_hosts: Sequence[str],
+                   n_trees: int) -> List[AggregationTree]:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        return [
+            self.build(key, master, worker_hosts, tree_index=t)
+            for t in range(n_trees)
+        ]
+
+    # -- lane selection -------------------------------------------------------
+
+    def lane(self, key: str, tree_index: int, host: str, master_tor: str,
+             master_pod: int) -> List[str]:
+        """Deterministic switch lane from ``host``'s ToR to the master."""
+        topo = self._topo
+        tor = topo.tor_of(host)
+        if tor == master_tor:
+            return [master_tor]
+        pod = topo.pod_of(host)
+        if pod == master_pod:
+            return [tor, self.pod_aggr(key, tree_index, pod), master_tor]
+        return [
+            tor,
+            self.pod_aggr(key, tree_index, pod),
+            self.core(key, tree_index),
+            self.pod_aggr(key, tree_index, master_pod),
+            master_tor,
+        ]
+
+    def pod_aggr(self, key: str, tree_index: int, pod: int) -> str:
+        """The aggregation switch a tree uses within ``pod``.
+
+        The *same position* (index into the pod's sorted aggregation
+        switches) is used in every pod of a tree: in a fat-tree, only
+        same-position switches share core switches, so a position-
+        consistent choice keeps cross-pod lanes wired.  The hash picks
+        tree 0's position; further trees round-robin from there,
+        guaranteeing disjoint lanes while enough switches exist (§3.1:
+        "each aggregation tree uses a disjoint set of agg boxes").
+        """
+        aggrs = sorted(
+            a for a in self._topo.switches(AGGR)
+            if self._topo.pod_of(a) == pod
+        )
+        if not aggrs:
+            raise ValueError(f"pod {pod} has no aggregation switch")
+        return aggrs[self._lane_position(key, tree_index) % len(aggrs)]
+
+    def core(self, key: str, tree_index: int) -> str:
+        """The core switch of a tree's cross-pod lane.
+
+        Chosen among the cores actually adjacent to the tree's
+        aggregation switches (any core in a three-tier multi-rooted
+        network; the position-matched core group in a fat-tree).
+        """
+        topo = self._topo
+        pods = sorted({
+            topo.pod_of(a) for a in topo.switches(AGGR)
+        })
+        candidates = None
+        for pod in pods:
+            aggr = self.pod_aggr(key, tree_index, pod)
+            adjacent = {
+                n for n in topo.neighbors(aggr)
+                if topo.node(n).tier == CORE
+            }
+            candidates = adjacent if candidates is None \
+                else candidates & adjacent
+        cores = sorted(candidates or ())
+        if not cores:
+            raise ValueError(
+                "no core switch is reachable from every pod's chosen "
+                "aggregation switch"
+            )
+        base = stable_hash(f"{key}:core")
+        return cores[(base + tree_index) % len(cores)]
+
+    def _lane_position(self, key: str, tree_index: int) -> int:
+        return stable_hash(f"{key}:lane") + tree_index
+
+    def box_id(self, key: str, tree_index: int, switch: str) -> str:
+        """The box a tree uses at ``switch``.
+
+        Hash picks tree 0's box; further trees round-robin from there,
+        so an application's trees land on *distinct* boxes while enough
+        are attached -- the scale-out mechanism of §3.1 ("aggregation
+        trees are assigned to agg boxes in a way that balances the load
+        between them").
+        """
+        candidates = self._topo.boxes_at(switch)
+        if not candidates:
+            raise ValueError(f"switch {switch!r} has no agg boxes")
+        base = stable_hash(f"{key}:box:{switch}")
+        return candidates[(base + tree_index) % len(candidates)].box_id
+
+    # -- internals -----------------------------------------------------------
+
+    def _register_boxes(self, tree: AggregationTree, key: str,
+                        tree_index: int, lane: Sequence[str],
+                        on_path: Sequence[str]) -> None:
+        for i, switch in enumerate(on_path):
+            vertex = self._vertex(tree, key, tree_index, switch)
+            if i + 1 < len(on_path):
+                parent_switch = on_path[i + 1]
+                parent = self._vertex(tree, key, tree_index, parent_switch)
+                lane_between = _lane_slice(lane, switch, parent_switch)
+                self._set_parent(vertex, parent.info.box_id, lane_between)
+                if vertex.info.box_id not in parent.children:
+                    parent.children.append(vertex.info.box_id)
+            else:
+                tail = _lane_slice(lane, switch, lane[-1])
+                self._set_parent(vertex, None, tail)
+
+    def _vertex(self, tree: AggregationTree, key: str, tree_index: int,
+                switch: str) -> BoxVertex:
+        box_id = self.box_id(key, tree_index, switch)
+        vertex = tree.boxes.get(box_id)
+        if vertex is None:
+            vertex = BoxVertex(info=self._topo.box(box_id))
+            tree.boxes[box_id] = vertex
+        return vertex
+
+    @staticmethod
+    def _set_parent(vertex: BoxVertex, parent: Optional[str],
+                    lane_between: Tuple[str, ...]) -> None:
+        if vertex.lane_to_parent and \
+                (vertex.parent, vertex.lane_to_parent) != (parent, lane_between):
+            raise TreeConstructionError(
+                f"inconsistent parent for box {vertex.info.box_id}: "
+                f"{vertex.parent} vs {parent}"
+            )
+        vertex.parent = parent
+        vertex.lane_to_parent = lane_between
+
+
+def _lane_slice(lane: Sequence[str], src: str, dst: str) -> Tuple[str, ...]:
+    start = lane.index(src)
+    end = lane.index(dst)
+    if end < start:
+        raise TreeConstructionError(f"lane runs backwards: {src} -> {dst}")
+    return tuple(lane[start:end + 1])

@@ -1,0 +1,10 @@
+"""Deployment cost model for the feasibility study (§2.4, Fig. 3)."""
+
+from repro.cost.model import (
+    CostReport,
+    PriceList,
+    netagg_cost,
+    upgrade_cost,
+)
+
+__all__ = ["PriceList", "CostReport", "upgrade_cost", "netagg_cost"]

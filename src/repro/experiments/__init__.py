@@ -1,0 +1,25 @@
+"""One module per paper figure/table (the per-experiment index of
+DESIGN.md).  Every module exposes ``run(scale=..., seed=...) ->
+ExperimentResult`` whose rows are the paper's series; ``benchmarks/``
+regenerates each one, and EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.experiments.common import (
+    BENCH,
+    DEFAULT,
+    PAPER,
+    QUICK,
+    ExperimentResult,
+    SimScale,
+    simulate,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SimScale",
+    "simulate",
+    "QUICK",
+    "BENCH",
+    "DEFAULT",
+    "PAPER",
+]

@@ -1,0 +1,149 @@
+"""Shared experiment infrastructure: scales, the simulation runner, and
+the result container all figure modules use.
+
+Scales trade runtime for fidelity:
+
+- ``QUICK``   -- seconds; used by unit tests;
+- ``BENCH``   -- sub-minute figures; the default for ``benchmarks/``;
+- ``DEFAULT`` -- the tuned configuration behind EXPERIMENTS.md numbers;
+- ``PAPER``   -- the paper's full 1,024-server topology (slow).
+
+The workload constants follow DESIGN.md's documented assumptions; racks
+are large (32 hosts) because the paper's incast degree (~40 servers per
+rack) is what makes rack-level aggregation's inbound bottleneck visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.aggregation.base import AggregationStrategy
+from repro.netsim.routing import EcmpRouter
+from repro.netsim.simulator import FlowSim, SimulationResult
+from repro.topology.base import Topology
+from repro.topology.threetier import ThreeTierParams, three_tier
+from repro.units import MB
+from repro.workload.stragglers import StragglerModel, inject_stragglers
+from repro.workload.synthetic import WorkloadParams, generate_workload
+
+
+@dataclass(frozen=True)
+class SimScale:
+    """A (topology, workload) size preset."""
+
+    name: str
+    topo: ThreeTierParams
+    workload: WorkloadParams
+
+    def with_topo(self, **overrides) -> "SimScale":
+        return replace(self, topo=self.topo.scaled(**overrides))
+
+    def with_workload(self, **overrides) -> "SimScale":
+        return replace(self, workload=replace(self.workload, **overrides))
+
+
+_WORKLOAD_DEFAULTS = dict(
+    mean_flow_size=1 * MB,
+    pareto_shape=1.5,
+    max_flow_size=10 * MB,
+    aggregatable_fraction=0.4,
+    worker_pareto_shape=1.0,
+)
+
+QUICK = SimScale(
+    name="quick",
+    topo=ThreeTierParams(n_pods=2, tors_per_pod=2, aggrs_per_pod=2,
+                         n_cores=2, hosts_per_tor=8),
+    workload=WorkloadParams(n_flows=80, max_workers=24,
+                            **_WORKLOAD_DEFAULTS),
+)
+
+BENCH = SimScale(
+    name="bench",
+    topo=ThreeTierParams(n_pods=4, tors_per_pod=1, aggrs_per_pod=2,
+                         n_cores=4, hosts_per_tor=32),
+    workload=WorkloadParams(n_flows=300, max_workers=64,
+                            **_WORKLOAD_DEFAULTS),
+)
+
+DEFAULT = SimScale(
+    name="default",
+    topo=ThreeTierParams(n_pods=4, tors_per_pod=2, aggrs_per_pod=2,
+                         n_cores=4, hosts_per_tor=32),
+    workload=WorkloadParams(n_flows=600, max_workers=96,
+                            **_WORKLOAD_DEFAULTS),
+)
+
+PAPER = SimScale(
+    name="paper",
+    topo=ThreeTierParams(),  # 1,024 servers, 64/16/8 switches
+    workload=WorkloadParams(n_flows=2000, max_workers=128,
+                            **_WORKLOAD_DEFAULTS),
+)
+
+
+def simulate(
+    scale: SimScale,
+    strategy: AggregationStrategy,
+    deploy: Optional[Callable[[Topology], object]] = None,
+    seed: int = 1,
+    stragglers: Optional[StragglerModel] = None,
+    router: Optional[EcmpRouter] = None,
+) -> SimulationResult:
+    """Build topology, deploy boxes, generate workload, run one strategy."""
+    topo = three_tier(scale.topo)
+    if deploy is not None:
+        deploy(topo)
+    workload = generate_workload(topo, scale.workload, seed=seed)
+    if stragglers is not None:
+        workload = inject_stragglers(workload, stragglers, seed=seed)
+    sim = FlowSim(topo.network)
+    sim.add_flows(strategy.plan(workload, topo, router))
+    return sim.run()
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated figure/table."""
+
+    experiment: str
+    description: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: object) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row missing columns: {sorted(missing)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned text table (for example scripts)."""
+        widths = {
+            c: max(len(c), *(len(_fmt(row[c])) for row in self.rows))
+            if self.rows else len(c)
+            for c in self.columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        lines = [f"== {self.experiment}: {self.description} ==", header,
+                 "-" * len(header)]
+        for row in self.rows:
+            lines.append("  ".join(
+                _fmt(row[c]).ljust(widths[c]) for c in self.columns
+            ))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,42 @@
+"""Fig. 15 -- processing rate of an in-memory local aggregation tree.
+
+Micro-benchmark of one agg box's pipelined tree: throughput vs number of
+leaves for several thread-pool sizes, WordCount combine at α=10%.
+Paper shape: throughput grows with leaves (more schedulable tasks) and
+saturates near the 10 Gbps ingest with a large enough pool.
+"""
+
+from __future__ import annotations
+
+from repro.aggbox.localtree import LocalTreeModel, TreeModelParams
+from repro.experiments.common import ExperimentResult
+from repro.units import to_gbps
+
+LEAVES = (2, 4, 8, 16, 32, 64)
+THREADS = (8, 16, 24, 32)
+
+
+def run(leaves=LEAVES, threads=THREADS, alpha: float = 0.10
+        ) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig15",
+        description="local aggregation tree throughput (Gbps) vs leaves",
+        columns=("leaves",) + tuple(f"threads_{t}" for t in threads),
+    )
+    for n_leaves in leaves:
+        row = {"leaves": n_leaves}
+        for n_threads in threads:
+            model = LocalTreeModel(TreeModelParams(
+                leaves=n_leaves, threads=n_threads, alpha=alpha,
+            ))
+            row[f"threads_{n_threads}"] = to_gbps(model.run().throughput)
+        result.add_row(**row)
+    return result
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Fig. 21 -- throughput vs active CPU cores on one agg box.
+
+The cheap ``sample`` function is network-bound (flat once a few cores
+deserialise fast enough); ``categorise`` scales linearly with cores --
+the data-parallel local tree exploits them all.
+"""
+
+from __future__ import annotations
+
+from repro.aggbox.functions import CategoriseFunction, SampleFunction
+from repro.cluster.deployment import TestbedConfig
+from repro.cluster.solr_driver import SolrEmulation, SolrEmulationParams
+from repro.experiments.common import ExperimentResult
+
+CORES = (2, 4, 8, 12, 16)
+
+
+def run(cores=CORES, n_clients: int = 70,
+        duration: float = 10.0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig21",
+        description="agg box throughput (Gbps) vs CPU cores",
+        columns=("cores", "sample_gbps", "categorise_gbps"),
+    )
+    for n_cores in cores:
+        config = TestbedConfig(box_cores=n_cores)
+        sample = SolrEmulation(config, SolrEmulationParams(
+            n_clients=n_clients, duration=duration, use_netagg=True,
+            agg_cpu_factor=SampleFunction.cpu_factor)).run()
+        categorise = SolrEmulation(config, SolrEmulationParams(
+            n_clients=n_clients, duration=duration, use_netagg=True,
+            agg_cpu_factor=CategoriseFunction.cpu_factor)).run()
+        result.add_row(
+            cores=n_cores,
+            sample_gbps=sample.throughput_gbps,
+            categorise_gbps=categorise.throughput_gbps,
+        )
+    return result
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

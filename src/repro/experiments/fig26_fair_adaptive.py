@@ -1,0 +1,23 @@
+"""Fig. 26 -- CPU sharing with the adaptive scheduler (the fix).
+
+Same co-location as Fig. 25, but weights adapt to measured task
+durations (w_i proportional to target/duration): CPU time converges to
+the 50/50 target despite the 30x task-length asymmetry.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig25_fair_fixed
+from repro.experiments.common import ExperimentResult
+
+
+def run(duration: float = 30.0, seed: int = 1) -> ExperimentResult:
+    return fig25_fair_fixed.run(duration=duration, seed=seed, adaptive=True)
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

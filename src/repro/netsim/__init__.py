@@ -1,0 +1,32 @@
+"""Flow-level discrete-event network simulator.
+
+This package replaces the paper's OMNeT++ packet-level simulator.  TCP
+max-min flow fairness -- which the paper's simulator implements at packet
+granularity -- is computed here exactly with a progressive-filling
+(water-filling) solver, re-run at every flow arrival or completion event.
+
+Public entry points:
+
+- :class:`repro.netsim.network.Network` -- directed capacitated links;
+- :class:`repro.netsim.simulator.FlowSim` -- the simulator itself;
+- :class:`repro.netsim.simulator.FlowSpec` -- one flow (with optional
+  streaming dependencies, used to model on-path aggregation trees);
+- :func:`repro.netsim.fairness.max_min_rates` -- standalone solver.
+"""
+
+from repro.netsim.engine import EventQueue
+from repro.netsim.fairness import max_min_rates
+from repro.netsim.network import Link, Network
+from repro.netsim.routing import EcmpRouter
+from repro.netsim.simulator import FlowSim, FlowSpec, SimulationResult
+
+__all__ = [
+    "EventQueue",
+    "max_min_rates",
+    "Link",
+    "Network",
+    "EcmpRouter",
+    "FlowSim",
+    "FlowSpec",
+    "SimulationResult",
+]

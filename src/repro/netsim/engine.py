@@ -1,0 +1,103 @@
+"""A minimal discrete-event engine.
+
+The flow simulator has its own specialised loop (rates change globally at
+each event), but the testbed emulator and the agg-box scheduler need a
+classic event queue: timestamped callbacks executed in order, with a
+stable tie-break so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class EventQueue:
+    """Priority queue of ``(time, callback)`` events with a virtual clock.
+
+    Events scheduled for the same time fire in insertion order.  The clock
+    only moves forward; scheduling an event in the past raises.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._cancelled: set = set()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        # _cancelled may hold tokens that already ran; count what is real.
+        return sum(1 for _, token, _ in self._heap
+                   if token not in self._cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns a token usable with :meth:`cancel`.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at {when}, clock already at {self._now}"
+            )
+        token = next(self._counter)
+        heapq.heappush(self._heap, (when, token, callback))
+        return token
+
+    def cancel(self, token: int) -> None:
+        """Cancel a scheduled event (no-op if it already ran)."""
+        self._cancelled.add(token)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        when, _token, callback = heapq.heappop(self._heap)
+        self._now = when
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue, optionally stopping at time ``until``.
+
+        Returns the number of events executed.  When ``until`` is given the
+        clock is advanced to exactly ``until`` even if no event fires there.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                return executed
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return executed
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, token, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(token)

@@ -1,0 +1,230 @@
+"""Exact max-min fair rate allocation (progressive filling).
+
+Given a set of flows, each traversing a list of capacitated links and
+optionally carrying an individual rate cap, the solver raises all rates in
+lock-step until a link (or a cap) saturates, freezes the affected flows,
+and repeats.  The result is the unique max-min fair allocation -- the
+steady state that per-flow-fair TCP converges to, which is what the
+paper's packet-level simulator models.
+
+Two implementations are provided:
+
+- :func:`max_min_rates_py` -- a readable pure-Python reference;
+- :func:`max_min_rates_np` -- a vectorised numpy version used in the hot
+  path of :class:`repro.netsim.simulator.FlowSim`.
+
+:func:`max_min_rates` picks numpy when available.  The two are
+cross-checked by property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+try:  # numpy is a hard dependency of the benchmarks, soft for the library
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Flows at or below this rate-gap are considered frozen at their cap.
+_EPS = 1e-12
+
+
+def max_min_rates(
+    flow_links: Mapping[str, Sequence[str]],
+    capacities: Mapping[str, float],
+    rate_caps: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Max-min fair rates for ``flow_links`` over ``capacities``.
+
+    Args:
+        flow_links: flow id -> list of link ids it traverses.  A flow with
+            an empty path is unconstrained by links (its rate is its cap,
+            or ``float('inf')`` with no cap).
+        capacities: link id -> capacity in bytes/second.  Every link
+            referenced by a flow must be present.
+        rate_caps: optional flow id -> maximum rate.
+
+    Returns:
+        flow id -> allocated rate (bytes/second).
+    """
+    if _np is not None:
+        return max_min_rates_np(flow_links, capacities, rate_caps)
+    return max_min_rates_py(flow_links, capacities, rate_caps)
+
+
+def max_min_rates_py(
+    flow_links: Mapping[str, Sequence[str]],
+    capacities: Mapping[str, float],
+    rate_caps: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Pure-Python progressive filling (reference implementation)."""
+    caps = dict(rate_caps or {})
+    rates: Dict[str, float] = {}
+    active: Dict[str, Sequence[str]] = {}
+    for flow_id, links in flow_links.items():
+        for link in links:
+            if link not in capacities:
+                raise KeyError(f"flow {flow_id!r} uses unknown link {link!r}")
+        rates[flow_id] = 0.0
+        if not links and flow_id not in caps:
+            rates[flow_id] = float("inf")
+        else:
+            active[flow_id] = tuple(links)
+
+    remaining = dict(capacities)
+    link_users: Dict[str, set] = {}
+    for flow_id, links in active.items():
+        for link in links:
+            link_users.setdefault(link, set()).add(flow_id)
+
+    while active:
+        # How much can every active flow's rate still rise in lock-step?
+        headrooms = {
+            link: remaining[link] / len(users)
+            for link, users in link_users.items()
+            if users
+        }
+        gaps = {
+            flow_id: caps[flow_id] - rates[flow_id]
+            for flow_id in active
+            if flow_id in caps
+        }
+        delta = min(
+            min(headrooms.values(), default=float("inf")),
+            min(gaps.values(), default=float("inf")),
+        )
+        tolerance = delta * 1e-9 + _EPS
+        bottleneck_links = [
+            link for link, headroom in headrooms.items()
+            if headroom <= delta + tolerance
+        ]
+        capped_flows = [
+            flow_id for flow_id, gap in gaps.items() if gap <= delta + tolerance
+        ]
+        if delta == float("inf"):
+            # Only capless, linkless flows remain (cannot happen given the
+            # construction above) -- guard against infinite loops anyway.
+            for flow_id in active:
+                rates[flow_id] = float("inf")
+            break
+
+        delta = max(delta, 0.0)
+        for flow_id in active:
+            rates[flow_id] += delta
+        for link, users in link_users.items():
+            remaining[link] -= delta * len(users)
+            if remaining[link] < 0.0:
+                remaining[link] = 0.0
+
+        frozen = set(capped_flows)
+        for link in bottleneck_links:
+            frozen.update(link_users.get(link, ()))
+        if not frozen:
+            # Numerical corner case: nothing saturated within tolerance.
+            # Freeze the flows on the currently tightest link to guarantee
+            # progress (cannot recur forever: each round removes flows).
+            tightest = min(
+                (l for l in link_users if link_users[l]),
+                key=lambda l: remaining[l],
+                default=None,
+            )
+            if tightest is None:
+                break
+            frozen.update(link_users[tightest])
+        for flow_id in frozen:
+            links = active.pop(flow_id, ())
+            for link in links:
+                link_users[link].discard(flow_id)
+    return rates
+
+
+def max_min_rates_np(
+    flow_links: Mapping[str, Sequence[str]],
+    capacities: Mapping[str, float],
+    rate_caps: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Vectorised progressive filling used by the simulator hot path."""
+    if _np is None:  # pragma: no cover
+        raise RuntimeError("numpy is not available")
+    flow_ids = list(flow_links)
+    n_flows = len(flow_ids)
+    if n_flows == 0:
+        return {}
+    link_ids = list(capacities)
+    link_index = {link: i for i, link in enumerate(link_ids)}
+
+    incidence_flow = []
+    incidence_link = []
+    for fi, flow_id in enumerate(flow_ids):
+        # A path that repeats a link charges it once (set semantics),
+        # matching the pure-Python implementation.
+        for link in set(flow_links[flow_id]):
+            if link not in link_index:
+                raise KeyError(f"flow {flow_id!r} uses unknown link {link!r}")
+            incidence_flow.append(fi)
+            incidence_link.append(link_index[link])
+    inc_flow = _np.asarray(incidence_flow, dtype=_np.int64)
+    inc_link = _np.asarray(incidence_link, dtype=_np.int64)
+
+    remaining = _np.asarray([capacities[l] for l in link_ids], dtype=_np.float64)
+    capacity_arr = remaining.copy()
+    rates = _np.zeros(n_flows, dtype=_np.float64)
+    caps = _np.full(n_flows, _np.inf, dtype=_np.float64)
+    if rate_caps:
+        flow_index = {flow_id: i for i, flow_id in enumerate(flow_ids)}
+        for flow_id, cap in rate_caps.items():
+            if flow_id in flow_index:
+                caps[flow_index[flow_id]] = cap
+    # Flows with no links and no cap get infinite rate immediately.
+    has_links = _np.zeros(n_flows, dtype=bool)
+    if len(inc_flow):
+        has_links[_np.unique(inc_flow)] = True
+    active = has_links | _np.isfinite(caps)
+    rates[~active] = _np.inf
+
+    while active.any():
+        active_edges = active[inc_flow]
+        users = _np.zeros(len(link_ids), dtype=_np.float64)
+        if active_edges.any():
+            _np.add.at(users, inc_link[active_edges], 1.0)
+        with _np.errstate(divide="ignore", invalid="ignore"):
+            headroom = _np.where(users > 0, remaining / users, _np.inf)
+        delta_links = headroom.min() if len(headroom) else _np.inf
+        gaps = _np.where(active, caps - rates, _np.inf)
+        delta_caps = gaps.min()
+        delta = min(delta_links, delta_caps)
+        if not _np.isfinite(delta):
+            rates[active] = _np.inf
+            break
+        delta = max(delta, 0.0)
+
+        rates[active] += delta
+        remaining -= delta * users
+        _np.maximum(remaining, 0.0, out=remaining)
+
+        saturated_links = (users > 0) & (remaining <= 1e-9 * capacity_arr)
+        freeze = _np.zeros(n_flows, dtype=bool)
+        if saturated_links.any():
+            sat_edge = saturated_links[inc_link] & active_edges
+            freeze[inc_flow[sat_edge]] = True
+        finite_caps = _np.isfinite(caps)
+        at_cap = _np.zeros(n_flows, dtype=bool)
+        at_cap[finite_caps] = (caps[finite_caps] - rates[finite_caps]) <= (
+            1e-9 * caps[finite_caps] + _EPS
+        )
+        freeze |= active & at_cap
+        freeze &= active
+        if not freeze.any():
+            # Numerical guard: freeze the flows on the tightest link.
+            if saturated_links.any() or not active_edges.any():
+                rates[active] = _np.where(
+                    _np.isfinite(caps[active]), caps[active], rates[active]
+                )
+                break
+            tightest = int(_np.argmin(headroom))
+            sat_edge = (inc_link == tightest) & active_edges
+            freeze[inc_flow[sat_edge]] = True
+        active &= ~freeze
+
+    return {flow_id: float(rates[i]) for i, flow_id in enumerate(flow_ids)}

@@ -1,0 +1,147 @@
+"""Metric helpers for simulation results.
+
+The paper reports the 99th-percentile flow completion time (FCT),
+normalised against the rack-level aggregation baseline, plus CDFs of FCT
+and of per-link traffic.  These helpers compute those series from
+:class:`repro.netsim.simulator.SimulationResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netsim.simulator import SimulationResult
+from repro.units import cdf_points, mean, percentile
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """Summary statistics over a set of flow completion times."""
+
+    count: int
+    mean: float
+    median: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, fcts: Sequence[float]) -> "FctSummary":
+        if not fcts:
+            raise ValueError("no flows matched the filter")
+        return cls(
+            count=len(fcts),
+            mean=mean(fcts),
+            median=percentile(fcts, 50.0),
+            p99=percentile(fcts, 99.0),
+            maximum=max(fcts),
+        )
+
+
+def fct_summary(
+    result: SimulationResult,
+    kinds: Optional[Sequence[str]] = None,
+    aggregatable: Optional[bool] = None,
+) -> FctSummary:
+    """FCT summary over flows matching the filters."""
+    return FctSummary.of(result.fcts(kinds=kinds, aggregatable=aggregatable))
+
+
+def relative_p99(
+    result: SimulationResult,
+    baseline: SimulationResult,
+    aggregatable: Optional[bool] = None,
+) -> float:
+    """99th-pct FCT of ``result`` relative to ``baseline`` (paper's y-axis).
+
+    Values below 1.0 mean ``result`` beats the baseline.
+    """
+    ours = fct_summary(result, aggregatable=aggregatable).p99
+    base = fct_summary(baseline, aggregatable=aggregatable).p99
+    if base <= 0:
+        raise ValueError("baseline p99 FCT is zero; nothing to normalise")
+    return ours / base
+
+
+def fct_cdf(
+    result: SimulationResult,
+    kinds: Optional[Sequence[str]] = None,
+    aggregatable: Optional[bool] = None,
+) -> List[Tuple[float, float]]:
+    """Empirical CDF of FCTs (Fig. 6 / Fig. 7 series)."""
+    return cdf_points(result.fcts(kinds=kinds, aggregatable=aggregatable))
+
+
+def link_traffic_cdf(result: SimulationResult) -> List[Tuple[float, float]]:
+    """Empirical CDF of per-link carried bytes (Fig. 9 series).
+
+    Only physical links are included; links that carried no traffic are
+    kept (they are real points of the distribution).
+    """
+    return cdf_points(list(result.link_traffic(wire_only=True).values()))
+
+
+def median_link_traffic(result: SimulationResult) -> float:
+    """Median over physical links of bytes carried."""
+    return percentile(list(result.link_traffic(wire_only=True).values()), 50.0)
+
+
+def job_completion_summary(result: SimulationResult) -> Dict[str, float]:
+    """Per-job completion times (used by strategy-level sanity checks)."""
+    return result.job_completion_times()
+
+
+def tier_traffic(result: SimulationResult) -> Dict[str, float]:
+    """Bytes carried per topology tier (edge / tor-aggr / aggr-core /
+    box links), from the link ids' naming convention.
+
+    Useful for diagnosing *where* an aggregation strategy removes
+    traffic (e.g. Fig. 12's deployment analysis).
+    """
+    tiers = {"edge": 0.0, "tor-aggr": 0.0, "aggr-core": 0.0, "box": 0.0}
+    for link_id, nbytes in result.link_traffic(wire_only=True).items():
+        src, _, dst = link_id.partition("->")
+        ends = {src.split(":")[0], dst.split(":")[0]}
+        if "box" in link_id:
+            tiers["box"] += nbytes
+        elif "host" in ends:
+            tiers["edge"] += nbytes
+        elif ends == {"tor", "aggr"}:
+            tiers["tor-aggr"] += nbytes
+        elif ends == {"aggr", "core"}:
+            tiers["aggr-core"] += nbytes
+    return tiers
+
+
+def slowdowns(result: SimulationResult, network,
+              kinds: Optional[Sequence[str]] = None) -> List[float]:
+    """Per-flow slowdown: FCT divided by the flow's ideal solo FCT.
+
+    The ideal is the transfer time the flow would see alone on its path
+    (size / bottleneck capacity).  Slowdown 1.0 = uncontended; the
+    distribution's tail captures how much sharing hurt -- a standard
+    congestion metric alongside absolute FCT.  Flows with no path or no
+    bytes are skipped (their ideal is zero).
+    """
+    out = []
+    capacities = network.capacities()
+    for record in result.records.values():
+        spec = record.spec
+        if kinds is not None and spec.kind not in kinds:
+            continue
+        if not spec.path or spec.size <= 0:
+            continue
+        bottleneck = min(capacities[link] for link in spec.path)
+        if spec.rate_cap is not None:
+            bottleneck = min(bottleneck, spec.rate_cap)
+        ideal = spec.size / bottleneck
+        if ideal <= 0:
+            continue
+        out.append(record.fct / ideal)
+    return out
+
+
+def slowdown_summary(result: SimulationResult, network,
+                     kinds: Optional[Sequence[str]] = None) -> FctSummary:
+    """Summary statistics over per-flow slowdowns."""
+    return FctSummary.of(slowdowns(result, network, kinds=kinds))

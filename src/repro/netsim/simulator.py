@@ -1,0 +1,305 @@
+"""The flow-level simulator.
+
+Flows are admitted at their start time, share link bandwidth max-min
+fairly with all other active flows, and complete when their bytes drain.
+Rates are re-solved at every arrival/completion event, which reproduces
+the fluid limit of per-flow-fair TCP (what the paper's packet simulator
+approximates).
+
+**Aggregation trees.**  An on-path aggregation job is a tree of *segment
+flows*: worker->box segments carry full partial results, box->box and
+box->master segments carry α-scaled data.  A segment's ``children`` are
+the flows it depends on: the segment is *admitted* (starts transferring)
+only once every child has drained -- a box cannot forward an aggregate it
+has not computed.  Per-flow FCT is the flow's own transfer time
+(completion minus admission), matching how a packet-level simulator would
+measure each flow; upstream waits serialise *job* completion without
+contaminating downstream flows' FCTs.
+
+Agg-box processing capacity appears as a virtual link on the path of each
+segment *entering* the box, so a box shared by many segments rate-limits
+them exactly like a wire would.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.netsim.fairness import max_min_rates
+from repro.netsim.network import Network
+from repro.units import EPSILON
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow to simulate.
+
+    Attributes:
+        flow_id: unique id.
+        size: bytes to transfer (>= 0; zero-byte flows finish instantly).
+        path: link ids traversed, in order.  May be empty for co-located
+            endpoints (the flow then finishes instantly unless rate-capped).
+        start_time: virtual time at which the flow becomes active.
+        job_id: optional grouping key (one partition/aggregation job).
+        kind: free-form label -- the strategies use ``"worker"``,
+            ``"internal"`` (box->box / relay hops), ``"result"`` (last hop
+            into the master) and ``"background"``.
+        aggregatable: True when the flow belongs to aggregatable traffic
+            (used to split Figs. 6 and 7).
+        children: flow ids that must drain before this flow is admitted
+            (an aggregate cannot be forwarded before its inputs arrive).
+        rate_cap: optional per-flow rate ceiling in bytes/second.
+    """
+
+    flow_id: str
+    size: float
+    path: Tuple[str, ...] = ()
+    start_time: float = 0.0
+    job_id: Optional[str] = None
+    kind: str = "background"
+    aggregatable: bool = False
+    children: Tuple[str, ...] = ()
+    rate_cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"flow {self.flow_id!r} has negative size")
+        if self.start_time < 0:
+            raise ValueError(f"flow {self.flow_id!r} starts before t=0")
+        if self.rate_cap is not None and self.rate_cap <= 0:
+            raise ValueError(f"flow {self.flow_id!r} has non-positive cap")
+
+
+@dataclass
+class FlowRecord:
+    """Outcome of one simulated flow."""
+
+    spec: FlowSpec
+    drain_time: float
+    #: When the flow actually started transferring: its start time, or
+    #: later if it waited for dependency children to drain.
+    admitted_time: float = 0.0
+
+    @property
+    def completion_time(self) -> float:
+        """When the flow's last byte arrived."""
+        return self.drain_time
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time: the flow's own transfer duration."""
+        return self.drain_time - self.admitted_time
+
+    @property
+    def dependency_wait(self) -> float:
+        """Seconds the flow waited for upstream flows before starting."""
+        return self.admitted_time - self.spec.start_time
+
+
+@dataclass
+class SimulationResult:
+    """All per-flow records plus the network with its byte accounting."""
+
+    records: Dict[str, FlowRecord]
+    network: Network
+    end_time: float
+
+    def fcts(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        aggregatable: Optional[bool] = None,
+    ) -> List[float]:
+        """FCTs of flows matching the filters (all flows by default)."""
+        out = []
+        for record in self.records.values():
+            spec = record.spec
+            if kinds is not None and spec.kind not in kinds:
+                continue
+            if aggregatable is not None and spec.aggregatable != aggregatable:
+                continue
+            out.append(record.fct)
+        return out
+
+    def job_completion_times(self) -> Dict[str, float]:
+        """Job id -> time when its last flow completed."""
+        jobs: Dict[str, float] = {}
+        for record in self.records.values():
+            job_id = record.spec.job_id
+            if job_id is None:
+                continue
+            current = jobs.get(job_id, 0.0)
+            jobs[job_id] = max(current, record.completion_time)
+        return jobs
+
+    def link_traffic(self, wire_only: bool = True) -> Dict[str, float]:
+        """Link id -> cumulative bytes carried (Fig. 9's metric)."""
+        links = self.network.wire_links() if wire_only else iter(self.network)
+        return {link.link_id: link.bytes_carried for link in links}
+
+
+class FlowSim:
+    """Simulate a set of flows over a :class:`Network` to completion."""
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._specs: Dict[str, FlowSpec] = {}
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def add_flow(self, spec: FlowSpec) -> None:
+        """Register a flow; validates path links and id uniqueness."""
+        if spec.flow_id in self._specs:
+            raise ValueError(f"duplicate flow id {spec.flow_id!r}")
+        for link_id in spec.path:
+            if link_id not in self._network:
+                raise KeyError(
+                    f"flow {spec.flow_id!r} uses unknown link {link_id!r}"
+                )
+        self._specs[spec.flow_id] = spec
+
+    def add_flows(self, specs: Iterable[FlowSpec]) -> None:
+        for spec in specs:
+            self.add_flow(spec)
+
+    def run(self) -> SimulationResult:
+        """Run to completion and return per-flow records."""
+        self._validate_dependencies()
+        capacities = self._network.capacities()
+
+        # Dependency bookkeeping: a flow is *armed* once every child has
+        # drained; an armed flow is admitted at max(start_time, arm time).
+        blockers: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {}
+        for flow_id, spec in self._specs.items():
+            blockers[flow_id] = len(spec.children)
+            for child in spec.children:
+                dependents.setdefault(child, []).append(flow_id)
+
+        pending: List[Tuple[float, str]] = []
+        for flow_id, spec in self._specs.items():
+            if blockers[flow_id] == 0:
+                heapq.heappush(pending, (spec.start_time, flow_id))
+        remaining: Dict[str, float] = {}
+        records: Dict[str, FlowRecord] = {}
+        now = 0.0
+
+        def drain(flow_id: str, when: float, admitted: float) -> None:
+            records[flow_id] = FlowRecord(
+                spec=self._specs[flow_id], drain_time=when,
+                admitted_time=admitted,
+            )
+            for parent in dependents.get(flow_id, ()):
+                blockers[parent] -= 1
+                if blockers[parent] == 0:
+                    start = max(self._specs[parent].start_time, when)
+                    heapq.heappush(pending, (start, parent))
+
+        def admit(until: float) -> None:
+            """Admit armed flows whose admission time has arrived."""
+            while pending and pending[0][0] <= until + EPSILON:
+                when, flow_id = heapq.heappop(pending)
+                spec = self._specs[flow_id]
+                admitted = max(when, spec.start_time)
+                if spec.size <= 0 or (not spec.path and
+                                      spec.rate_cap is None):
+                    drain(flow_id, admitted, admitted)
+                else:
+                    records[flow_id] = FlowRecord(
+                        spec=spec, drain_time=float("nan"),
+                        admitted_time=admitted,
+                    )
+                    remaining[flow_id] = spec.size
+
+        while pending or remaining:
+            if not remaining:
+                now = max(now, pending[0][0])
+            admit(now)
+            if not remaining:
+                continue
+
+            rates = max_min_rates(
+                {fid: self._specs[fid].path for fid in remaining},
+                capacities,
+                {
+                    fid: self._specs[fid].rate_cap
+                    for fid in remaining
+                    if self._specs[fid].rate_cap is not None
+                },
+            )
+            dt_complete = float("inf")
+            for flow_id, left in remaining.items():
+                rate = rates[flow_id]
+                if rate == float("inf"):
+                    dt_complete = 0.0
+                    break
+                if rate > 0:
+                    dt_complete = min(dt_complete, left / rate)
+            dt_next_start = (pending[0][0] - now) if pending else float("inf")
+            dt = min(dt_complete, dt_next_start)
+            if dt == float("inf"):
+                raise RuntimeError(
+                    "simulation stalled: active flows make no progress"
+                )
+            dt = max(dt, 0.0)
+
+            now += dt
+            finished: List[str] = []
+            for flow_id in remaining:
+                rate = rates[flow_id]
+                if rate == float("inf"):
+                    remaining[flow_id] = 0.0
+                else:
+                    remaining[flow_id] -= rate * dt
+                if remaining[flow_id] <= EPSILON * max(
+                    1.0, self._specs[flow_id].size
+                ):
+                    finished.append(flow_id)
+            for flow_id in finished:
+                del remaining[flow_id]
+                drain(flow_id, now, records[flow_id].admitted_time)
+
+        if len(records) != len(self._specs):
+            missing = sorted(set(self._specs) - set(records))
+            raise RuntimeError(f"flows never became eligible: {missing}")
+        self._account_traffic()
+        end_time = max(
+            (r.completion_time for r in records.values()), default=0.0
+        )
+        return SimulationResult(records=records, network=self._network,
+                                end_time=end_time)
+
+    # -- internals ---------------------------------------------------------
+
+    def _validate_dependencies(self) -> None:
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(flow_id: str) -> None:
+            mark = state.get(flow_id)
+            if mark == 1:
+                return
+            if mark == 0:
+                raise ValueError(f"dependency cycle through flow {flow_id!r}")
+            state[flow_id] = 0
+            spec = self._specs.get(flow_id)
+            if spec is None:
+                raise KeyError(f"unknown child flow {flow_id!r}")
+            for child in spec.children:
+                visit(child)
+            state[flow_id] = 1
+
+        for flow_id in self._specs:
+            visit(flow_id)
+
+    def _account_traffic(self) -> None:
+        """Charge each flow's full size to every link on its path.
+
+        Total bytes per link do not depend on the rate schedule, so the
+        accounting is exact and done once at the end.
+        """
+        for spec in self._specs.values():
+            for link_id in spec.path:
+                self._network.account(link_id, spec.size)

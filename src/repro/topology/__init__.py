@@ -1,0 +1,23 @@
+"""Data-centre topologies with agg-box attachment points.
+
+- :class:`repro.topology.base.Topology` -- generic node/link graph with
+  equal-cost shortest-path enumeration and agg-box bookkeeping;
+- :func:`repro.topology.threetier.three_tier` -- the paper's three-tier
+  multi-rooted topology (ToR / aggregation / core), parameterised by
+  over-subscription and link rates;
+- :func:`repro.topology.fattree.fat_tree` -- a k-ary fat-tree, used by the
+  multi-tree ablation.
+"""
+
+from repro.topology.base import AggBoxInfo, Node, Topology
+from repro.topology.fattree import fat_tree
+from repro.topology.threetier import ThreeTierParams, three_tier
+
+__all__ = [
+    "Node",
+    "AggBoxInfo",
+    "Topology",
+    "ThreeTierParams",
+    "three_tier",
+    "fat_tree",
+]

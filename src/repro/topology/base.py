@@ -1,0 +1,265 @@
+"""Generic topology graph shared by all builders.
+
+A topology is a set of typed nodes (hosts, switches at three tiers, agg
+boxes) plus a :class:`repro.netsim.network.Network` of directed links.
+Every physical cable is represented as two directed links, one per
+direction, named ``"<src>-><dst>"``.
+
+Agg boxes are first-class: :meth:`Topology.attach_aggbox` wires a box to a
+switch with a pair of (usually 10 Gbps) links *and* creates the virtual
+``proc:`` link that models the box's aggregation processing rate
+(§2.4 of the paper: the minimum rate R an agg box must sustain).
+
+Equal-cost paths are enumerated by breadth-first search over the switch
+graph and memoised; :class:`repro.netsim.routing.EcmpRouter` hashes flows
+onto them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.network import Link, Network
+
+#: Node tiers, edge to core.
+HOST = "host"
+TOR = "tor"
+AGGR = "aggr"
+CORE = "core"
+AGGBOX = "aggbox"
+
+SWITCH_TIERS = (TOR, AGGR, CORE)
+
+
+@dataclass(frozen=True)
+class Node:
+    """A vertex of the topology graph.
+
+    Attributes:
+        node_id: unique id, e.g. ``"host:12"`` or ``"aggr:1:0"``.
+        tier: one of ``host``, ``tor``, ``aggr``, ``core``, ``aggbox``.
+        rack: rack index for hosts/ToRs (-1 elsewhere).
+        pod: pod index for hosts/ToRs/aggregation switches (-1 for cores).
+    """
+
+    node_id: str
+    tier: str
+    rack: int = -1
+    pod: int = -1
+
+
+@dataclass(frozen=True)
+class AggBoxInfo:
+    """One agg box attached to a switch.
+
+    Attributes:
+        box_id: node id of the box, e.g. ``"box:tor:3:0"``.
+        switch_id: the switch it hangs off.
+        proc_link: id of the virtual link modelling its processing rate.
+        uplink: link id box -> switch.
+        downlink: link id switch -> box.
+    """
+
+    box_id: str
+    switch_id: str
+    proc_link: str
+    uplink: str
+    downlink: str
+
+
+def link_id(src: str, dst: str) -> str:
+    """Canonical id of the directed link from ``src`` to ``dst``."""
+    return f"{src}->{dst}"
+
+
+class Topology:
+    """Nodes + links + agg boxes, with equal-cost path enumeration."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self.network = Network()
+        self._nodes: Dict[str, Node] = {}
+        self._adjacency: Dict[str, List[str]] = {}
+        self._boxes: Dict[str, List[AggBoxInfo]] = {}  # switch -> boxes
+        self._box_index: Dict[str, AggBoxInfo] = {}  # box id -> info
+        self._paths_cache: Dict[Tuple[str, str], Tuple[Tuple[str, ...], ...]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._adjacency[node.node_id] = []
+
+    def connect(self, a: str, b: str, capacity_ab: float,
+                capacity_ba: Optional[float] = None) -> None:
+        """Wire nodes ``a`` and ``b`` with a directed link pair."""
+        for end in (a, b):
+            if end not in self._nodes:
+                raise KeyError(f"unknown node {end!r}")
+        if capacity_ba is None:
+            capacity_ba = capacity_ab
+        self.network.add_link(Link(link_id(a, b), capacity_ab, src=a, dst=b))
+        self.network.add_link(Link(link_id(b, a), capacity_ba, src=b, dst=a))
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        self._paths_cache.clear()
+
+    def attach_aggbox(
+        self,
+        switch_id: str,
+        link_rate: float,
+        proc_rate: float,
+        count: int = 1,
+    ) -> List[AggBoxInfo]:
+        """Attach ``count`` agg boxes to ``switch_id``.
+
+        Each box gets a bidirectional wire link of ``link_rate`` and a
+        virtual processing link of capacity ``proc_rate`` traversed by all
+        segments the box aggregates.  Returns the new boxes' infos.
+        """
+        switch = self._nodes.get(switch_id)
+        if switch is None:
+            raise KeyError(f"unknown switch {switch_id!r}")
+        if switch.tier not in SWITCH_TIERS:
+            raise ValueError(f"{switch_id!r} is not a switch")
+        created = []
+        existing = len(self._boxes.get(switch_id, []))
+        for i in range(existing, existing + count):
+            box_id = f"box:{switch_id}:{i}"
+            self.add_node(Node(box_id, AGGBOX, rack=switch.rack, pod=switch.pod))
+            self.connect(box_id, switch_id, link_rate)
+            proc_link = f"proc:{box_id}"
+            self.network.add_link(Link(proc_link, proc_rate, virtual=True))
+            info = AggBoxInfo(
+                box_id=box_id,
+                switch_id=switch_id,
+                proc_link=proc_link,
+                uplink=link_id(box_id, switch_id),
+                downlink=link_id(switch_id, box_id),
+            )
+            self._boxes.setdefault(switch_id, []).append(info)
+            self._box_index[box_id] = info
+            created.append(info)
+        return created
+
+    # -- lookups -------------------------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self, tier: Optional[str] = None) -> List[Node]:
+        if tier is None:
+            return list(self._nodes.values())
+        return [n for n in self._nodes.values() if n.tier == tier]
+
+    def hosts(self) -> List[str]:
+        return [n.node_id for n in self.nodes(HOST)]
+
+    def switches(self, tier: str) -> List[str]:
+        if tier not in SWITCH_TIERS:
+            raise ValueError(f"not a switch tier: {tier!r}")
+        return [n.node_id for n in self.nodes(tier)]
+
+    def neighbors(self, node_id: str) -> List[str]:
+        return list(self._adjacency[node_id])
+
+    def tor_of(self, host_id: str) -> str:
+        """The ToR switch a host (or agg box) connects to."""
+        node = self._nodes[host_id]
+        if node.tier == AGGBOX:
+            return self._box_index[host_id].switch_id
+        if node.tier != HOST:
+            raise ValueError(f"{host_id!r} is not a host")
+        for neighbor in self._adjacency[host_id]:
+            if self._nodes[neighbor].tier == TOR:
+                return neighbor
+        raise ValueError(f"host {host_id!r} has no ToR")
+
+    def rack_of(self, host_id: str) -> int:
+        return self._nodes[host_id].rack
+
+    def pod_of(self, node_id: str) -> int:
+        return self._nodes[node_id].pod
+
+    def boxes_at(self, switch_id: str) -> List[AggBoxInfo]:
+        return list(self._boxes.get(switch_id, []))
+
+    def all_boxes(self) -> List[AggBoxInfo]:
+        return list(self._box_index.values())
+
+    def box(self, box_id: str) -> AggBoxInfo:
+        return self._box_index[box_id]
+
+    def switches_with_boxes(self) -> List[str]:
+        return [s for s, boxes in self._boxes.items() if boxes]
+
+    # -- routing -------------------------------------------------------------
+
+    def equal_cost_paths(self, src: str, dst: str) -> Tuple[Tuple[str, ...], ...]:
+        """All shortest paths from ``src`` to ``dst`` as link-id tuples.
+
+        Agg boxes participate like hosts (they are leaves on a switch).
+        Virtual ``proc:`` links never appear here; strategies add them
+        explicitly for segments that are aggregated.
+        """
+        if src == dst:
+            return ((),)
+        key = (src, dst)
+        cached = self._paths_cache.get(key)
+        if cached is not None:
+            return cached
+        paths = tuple(
+            tuple(link_id(a, b) for a, b in zip(nodes, nodes[1:]))
+            for nodes in self._bfs_all_shortest(src, dst)
+        )
+        self._paths_cache[key] = paths
+        return paths
+
+    def node_paths(self, src: str, dst: str) -> List[List[str]]:
+        """All shortest paths as node-id sequences (used by strategies)."""
+        if src == dst:
+            return [[src]]
+        return self._bfs_all_shortest(src, dst)
+
+    def _bfs_all_shortest(self, src: str, dst: str) -> List[List[str]]:
+        if src not in self._nodes or dst not in self._nodes:
+            raise KeyError(f"unknown endpoint in route {src!r} -> {dst!r}")
+        # Standard BFS recording all shortest-path predecessors.
+        dist: Dict[str, int] = {src: 0}
+        preds: Dict[str, List[str]] = {src: []}
+        queue = deque([src])
+        while queue:
+            current = queue.popleft()
+            if current == dst:
+                continue
+            for neighbor in self._adjacency[current]:
+                # Leaf nodes (hosts, boxes) never relay other nodes' traffic.
+                if neighbor != dst and self._nodes[neighbor].tier in (HOST, AGGBOX):
+                    continue
+                if neighbor not in dist:
+                    dist[neighbor] = dist[current] + 1
+                    preds[neighbor] = [current]
+                    queue.append(neighbor)
+                elif dist[neighbor] == dist[current] + 1:
+                    preds[neighbor].append(current)
+        if dst not in dist:
+            raise ValueError(f"no path from {src!r} to {dst!r}")
+
+        paths: List[List[str]] = []
+
+        def unwind(node: str, acc: List[str]) -> None:
+            if node == src:
+                paths.append([src] + acc)
+                return
+            for pred in preds[node]:
+                unwind(pred, [node] + acc)
+
+        unwind(dst, [])
+        return paths

@@ -1,0 +1,49 @@
+"""A k-ary fat-tree topology [Al-Fares et al., SIGCOMM'08].
+
+Used by the multiple-aggregation-trees ablation: a fat-tree has rich path
+diversity ((k/2)^2 core paths between pods), which is exactly the property
+NetAgg's multiple disjoint aggregation trees exploit (§3.1, "Multiple
+aggregation trees per application").
+
+Structure for even ``k``: ``k`` pods, each with ``k/2`` edge (ToR) and
+``k/2`` aggregation switches; ``(k/2)^2`` core switches; ``k/2`` hosts per
+edge switch.  All links run at ``link_rate`` -- a fat-tree is full
+bisection by construction.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import AGGR, CORE, HOST, TOR, Node, Topology
+from repro.units import Gbps
+
+
+def fat_tree(k: int = 4, link_rate: float = Gbps(1.0)) -> Topology:
+    """Build a k-ary fat-tree (k even, >= 2)."""
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be an even integer >= 2")
+    half = k // 2
+    topo = Topology(name=f"fat-tree-k{k}")
+
+    for core_idx in range(half * half):
+        topo.add_node(Node(f"core:{core_idx}", CORE))
+
+    for pod in range(k):
+        for aggr_idx in range(half):
+            aggr_id = f"aggr:{pod}:{aggr_idx}"
+            topo.add_node(Node(aggr_id, AGGR, pod=pod))
+            # Aggregation switch j of every pod connects to cores
+            # [j*half, (j+1)*half) -- the classic fat-tree wiring.
+            for i in range(half):
+                topo.connect(aggr_id, f"core:{aggr_idx * half + i}", link_rate)
+        for tor_idx in range(half):
+            rack = pod * half + tor_idx
+            tor_id = f"tor:{rack}"
+            topo.add_node(Node(tor_id, TOR, rack=rack, pod=pod))
+            for aggr_idx in range(half):
+                topo.connect(tor_id, f"aggr:{pod}:{aggr_idx}", link_rate)
+            for host_idx in range(half):
+                host_id = f"host:{rack * half + host_idx}"
+                topo.add_node(Node(host_id, HOST, rack=rack, pod=pod))
+                topo.connect(host_id, tor_id, link_rate)
+
+    return topo

@@ -1,0 +1,89 @@
+"""Length-prefixed framing and streaming chunk reassembly.
+
+Shim layers and agg boxes exchange *frames* (one serialised record batch
+per frame) over byte streams.  Because the network layer hands data to
+the deserialiser in arbitrary chunks, a frame can be split across chunk
+boundaries; :class:`ChunkReassembler` buffers the incomplete tail, which
+is exactly the behaviour §3.2.1 describes for the Hadoop deserialiser
+("the deserialiser must account for incomplete pairs at the end of each
+received chunk").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.wire.serializer import WireError, read_varint, write_varint
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a varint length prefix."""
+    return write_varint(len(payload)) + payload
+
+
+def unframe_all(buffer: bytes) -> List[bytes]:
+    """Split a buffer containing whole frames; raises on trailing junk."""
+    frames, rest = _drain(buffer)
+    if rest:
+        raise WireError(f"{len(rest)} trailing bytes after last frame")
+    return frames
+
+
+def _drain(buffer: bytes) -> Tuple[List[bytes], bytes]:
+    """Extract complete frames; returns (frames, unconsumed tail)."""
+    frames: List[bytes] = []
+    offset = 0
+    while offset < len(buffer):
+        try:
+            length, after = read_varint(buffer, offset)
+        except WireError:
+            break  # incomplete length prefix
+        end = after + length
+        if end > len(buffer):
+            break  # incomplete payload
+        frames.append(bytes(buffer[after:end]))
+        offset = end
+    return frames, bytes(buffer[offset:])
+
+
+class ChunkReassembler:
+    """Streaming frame extractor tolerating arbitrary chunk boundaries."""
+
+    def __init__(self) -> None:
+        self._pending = b""
+        self._frames_out = 0
+        self._bytes_in = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+        return len(self._pending)
+
+    @property
+    def frames_emitted(self) -> int:
+        return self._frames_out
+
+    @property
+    def bytes_consumed(self) -> int:
+        return self._bytes_in
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        """Add a chunk; returns every frame completed by it."""
+        self._bytes_in += len(chunk)
+        frames, self._pending = _drain(self._pending + chunk)
+        self._frames_out += len(frames)
+        return frames
+
+    def feed_all(self, chunks: Iterable[bytes]) -> List[bytes]:
+        frames: List[bytes] = []
+        for chunk in chunks:
+            frames.extend(self.feed(chunk))
+        return frames
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._pending:
+            raise WireError(
+                f"stream ended mid-frame with {len(self._pending)} bytes "
+                "buffered"
+            )

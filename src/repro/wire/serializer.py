@@ -1,0 +1,100 @@
+"""Varint/zig-zag primitives and scalar codecs.
+
+The encoding follows the scheme Kryo (and protobuf) use: unsigned
+varints with 7 payload bits per byte, zig-zag mapping for signed
+integers, length-prefixed UTF-8 strings and raw byte blobs, and IEEE-754
+doubles for floats.  All readers take ``(buffer, offset)`` and return
+``(value, new_offset)`` so they compose into streaming decoders.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+
+class WireError(ValueError):
+    """Raised on malformed or truncated wire data."""
+
+
+_MAX_VARINT_BYTES = 10  # enough for 64-bit values
+
+
+def write_varint(value: int) -> bytes:
+    """Encode a non-negative integer as an unsigned varint."""
+    if value < 0:
+        raise WireError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(buffer: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode an unsigned varint; returns ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    for i in range(_MAX_VARINT_BYTES):
+        if offset + i >= len(buffer):
+            raise WireError("truncated varint")
+        byte = buffer[offset + i]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset + i + 1
+        shift += 7
+    raise WireError("varint longer than 10 bytes")
+
+
+def write_signed(value: int) -> bytes:
+    """Zig-zag encode a signed integer."""
+    return write_varint((value << 1) ^ (value >> 63) if value >= 0
+                        else ((-value) << 1) - 1)
+
+
+def read_signed(buffer: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a zig-zag encoded signed integer."""
+    raw, offset = read_varint(buffer, offset)
+    return (raw >> 1) ^ -(raw & 1), offset
+
+
+def write_bytes(data: bytes) -> bytes:
+    """Length-prefixed byte blob."""
+    return write_varint(len(data)) + data
+
+
+def read_bytes(buffer: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    length, offset = read_varint(buffer, offset)
+    end = offset + length
+    if end > len(buffer):
+        raise WireError("truncated byte blob")
+    return bytes(buffer[offset:end]), end
+
+
+def write_string(text: str) -> bytes:
+    """Length-prefixed UTF-8 string."""
+    return write_bytes(text.encode("utf-8"))
+
+
+def read_string(buffer: bytes, offset: int = 0) -> Tuple[str, int]:
+    raw, offset = read_bytes(buffer, offset)
+    try:
+        return raw.decode("utf-8"), offset
+    except UnicodeDecodeError as exc:
+        raise WireError(f"invalid UTF-8 in string: {exc}") from exc
+
+
+def write_float(value: float) -> bytes:
+    """IEEE-754 double, big-endian."""
+    return struct.pack(">d", value)
+
+
+def read_float(buffer: bytes, offset: int = 0) -> Tuple[float, int]:
+    end = offset + 8
+    if end > len(buffer):
+        raise WireError("truncated float")
+    return struct.unpack(">d", buffer[offset:end])[0], end

@@ -1,0 +1,30 @@
+"""Synthetic data-centre workloads (§4.1 of the paper).
+
+The paper's simulation workload is modelled after published traces of a
+cluster running large data-mining jobs: Pareto flow sizes, a power-law
+number of workers per job, a fixed fraction of aggregatable traffic, and
+locality-aware worker placement.  All of that is generated here, fully
+seeded and deterministic.
+"""
+
+from repro.workload.placement import LocalityAwarePlacer, RandomPlacer
+from repro.workload.stragglers import StragglerModel, inject_stragglers
+from repro.workload.synthetic import (
+    AggJob,
+    BackgroundFlow,
+    Workload,
+    WorkloadParams,
+    generate_workload,
+)
+
+__all__ = [
+    "AggJob",
+    "BackgroundFlow",
+    "Workload",
+    "WorkloadParams",
+    "generate_workload",
+    "LocalityAwarePlacer",
+    "RandomPlacer",
+    "StragglerModel",
+    "inject_stragglers",
+]

@@ -1,0 +1,155 @@
+"""Worker placement policies.
+
+The paper deploys workers "using a locality-aware allocation algorithm
+that greedily assigns workers to servers as close to each other as
+possible" (§4.1).  :class:`LocalityAwarePlacer` implements that: a job
+anchors at the least-loaded rack and fills hosts rack-by-rack, preferring
+the anchor rack, then other racks of the same pod, then remote pods.
+:class:`RandomPlacer` is the ablation baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.topology.base import Topology
+
+
+class PlacementError(RuntimeError):
+    """Raised when a job cannot be placed (more workers than hosts)."""
+
+
+class LocalityAwarePlacer:
+    """Greedy locality-aware placement with per-host load balancing.
+
+    Each host can run any number of workers across jobs, but at most one
+    worker of a given job; the placer tracks cumulative load per host and
+    prefers lightly-loaded hosts within each locality ring.
+
+    The master is placed *remotely* by default: frontends and reducers
+    generally do not sit in their workers' rack, and the paper's results
+    (core-tier boxes intercepting the most flows, Fig. 12) only make
+    sense when aggregation traffic actually traverses the network core.
+    ``remote_master=False`` co-locates it for the locality ablation.
+    """
+
+    def __init__(self, topo: Topology, rng: random.Random,
+                 remote_master: bool = True,
+                 fragmentation: float = 0.0) -> None:
+        if not 0.0 <= fragmentation <= 1.0:
+            raise ValueError("fragmentation must be in [0, 1]")
+        self._topo = topo
+        self._rng = rng
+        self._remote_master = remote_master
+        self._fragmentation = fragmentation
+        self._load: Dict[str, int] = {h: 0 for h in topo.hosts()}
+        self._racks: Dict[int, List[str]] = {}
+        for host in topo.hosts():
+            self._racks.setdefault(topo.rack_of(host), []).append(host)
+
+    def place_job(self, n_workers: int, with_master: bool = True) -> List[str]:
+        """Pick ``n_workers`` (+1 master if requested) distinct hosts.
+
+        Returns ``[master, worker0, worker1, ...]`` when ``with_master``,
+        else just the workers.
+        """
+        total = n_workers + (1 if with_master else 0)
+        if total > len(self._load):
+            raise PlacementError(
+                f"job needs {total} hosts, topology has {len(self._load)}"
+            )
+        anchor = self._anchor_rack()
+        ordered_racks = self._racks_by_proximity(anchor)
+        chosen: List[str] = []
+        for rack in ordered_racks:
+            if len(chosen) == total:
+                break
+            hosts = sorted(
+                self._racks[rack], key=lambda h: (self._load[h], h)
+            )
+            for host in hosts:
+                chosen.append(host)
+                if len(chosen) == total:
+                    break
+        # Fragmentation: under bin-packing pressure some workers cannot
+        # get a slot near the job and land in a random rack instead --
+        # the regime in which rack-level aggregation degenerates (lone
+        # workers ship raw data across the core).
+        if self._fragmentation > 0.0:
+            taken = set(chosen)
+            for i in range(1, len(chosen)):
+                if self._rng.random() >= self._fragmentation:
+                    continue
+                spare = [h for h in sorted(self._load)
+                         if h not in taken]
+                if not spare:
+                    break
+                lightest = min(self._load[h] for h in spare)
+                pool = [h for h in spare if self._load[h] == lightest]
+                replacement = self._rng.choice(pool)
+                taken.discard(chosen[i])
+                chosen[i] = replacement
+                taken.add(replacement)
+        for host in chosen:
+            self._load[host] += 1
+        if with_master and self._remote_master:
+            workers = chosen[1:]
+            master = self._remote_master_host(set(workers), anchor)
+            self._load[chosen[0]] -= 1  # release the colocated slot
+            self._load[master] += 1
+            return [master] + workers
+        return chosen
+
+    def _remote_master_host(self, workers: set, anchor: int) -> str:
+        """A lightly-loaded host outside the anchor rack."""
+        candidates = [
+            h for h in sorted(self._load)
+            if h not in workers and self._topo.rack_of(h) != anchor
+        ]
+        if not candidates:  # single-rack topology: fall back to any host
+            candidates = [h for h in sorted(self._load)
+                          if h not in workers]
+        lightest = min(self._load[h] for h in candidates)
+        pool = [h for h in candidates if self._load[h] == lightest]
+        return self._rng.choice(pool)
+
+    def _anchor_rack(self) -> int:
+        """The rack with the lowest aggregate load (ties broken randomly)."""
+        loads = {
+            rack: sum(self._load[h] for h in hosts)
+            for rack, hosts in self._racks.items()
+        }
+        best = min(loads.values())
+        candidates = sorted(r for r, l in loads.items() if l == best)
+        return self._rng.choice(candidates)
+
+    def _racks_by_proximity(self, anchor: int) -> List[int]:
+        anchor_pod = self._pod_of_rack(anchor)
+
+        def key(rack: int):
+            same_rack = 0 if rack == anchor else 1
+            same_pod = 0 if self._pod_of_rack(rack) == anchor_pod else 1
+            return (same_rack, same_pod, rack)
+
+        return sorted(self._racks, key=key)
+
+    def _pod_of_rack(self, rack: int) -> int:
+        host = self._racks[rack][0]
+        return self._topo.pod_of(host)
+
+
+class RandomPlacer:
+    """Uniform random placement (the locality ablation baseline)."""
+
+    def __init__(self, topo: Topology, rng: random.Random) -> None:
+        self._hosts = sorted(topo.hosts())
+        self._rng = rng
+
+    def place_job(self, n_workers: int, with_master: bool = True) -> List[str]:
+        total = n_workers + (1 if with_master else 0)
+        if total > len(self._hosts):
+            raise PlacementError(
+                f"job needs {total} hosts, topology has {len(self._hosts)}"
+            )
+        return self._rng.sample(self._hosts, total)

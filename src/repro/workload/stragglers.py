@@ -1,0 +1,54 @@
+"""Straggler injection (Fig. 14).
+
+The paper "artificially delay[s] the starting time of some of the flows
+of a given request or job, following the distribution reported in the
+literature" (the Mantri outlier study).  We model that with a Bernoulli
+choice per worker (the straggler ratio) and an exponential delay for the
+chosen workers -- exponential tails are the standard fit for task-runtime
+outliers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.workload.synthetic import AggJob, Workload
+
+
+@dataclass(frozen=True)
+class StragglerModel:
+    """Straggler injection parameters.
+
+    Attributes:
+        ratio: probability that a worker is a straggler, in [0, 1].
+        mean_delay: mean of the exponential start-time delay (seconds).
+    """
+
+    ratio: float
+    mean_delay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ValueError(f"straggler ratio must be in [0, 1], got {self.ratio}")
+        if self.mean_delay <= 0.0:
+            raise ValueError("mean_delay must be positive")
+
+    def delays_for(self, job: AggJob, rng: random.Random) -> List[float]:
+        return [
+            rng.expovariate(1.0 / self.mean_delay) if rng.random() < self.ratio
+            else 0.0
+            for _ in job.workers
+        ]
+
+
+def inject_stragglers(
+    workload: Workload, model: StragglerModel, seed: int = 1
+) -> Workload:
+    """Return a copy of ``workload`` with straggler delays applied."""
+    rng = random.Random(seed)
+    delayed = Workload(background=list(workload.background))
+    for job in workload.jobs:
+        delayed.jobs.append(job.with_delays(model.delays_for(job, rng)))
+    return delayed

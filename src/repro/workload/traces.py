@@ -1,0 +1,144 @@
+"""Workload traces: save, load and inspect workloads as JSON lines.
+
+The synthetic generator covers the paper's evaluation, but downstream
+users have their own traces.  This module defines a simple JSONL
+interchange format -- one record per job or background flow -- so real
+cluster traces can be replayed through every aggregation strategy, and
+generated workloads can be archived for exact re-runs.
+
+Record shapes::
+
+    {"type": "job", "job_id": ..., "master": ..., "alpha": ...,
+     "start_time": ..., "n_trees": ...,
+     "workers": [[host, bytes], ...], "worker_delays": [...]}
+    {"type": "background", "flow_id": ..., "src": ..., "dst": ...,
+     "size": ..., "start_time": ...}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.units import mean, percentile
+from repro.workload.synthetic import AggJob, BackgroundFlow, Workload
+
+
+class TraceError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def job_to_record(job: AggJob) -> Dict:
+    record = {
+        "type": "job",
+        "job_id": job.job_id,
+        "master": job.master,
+        "alpha": job.alpha,
+        "start_time": job.start_time,
+        "n_trees": job.n_trees,
+        "workers": [[host, size] for host, size in job.workers],
+    }
+    if job.worker_delays:
+        record["worker_delays"] = list(job.worker_delays)
+    return record
+
+
+def flow_to_record(flow: BackgroundFlow) -> Dict:
+    return {
+        "type": "background",
+        "flow_id": flow.flow_id,
+        "src": flow.src,
+        "dst": flow.dst,
+        "size": flow.size,
+        "start_time": flow.start_time,
+    }
+
+
+def record_to_job(record: Dict) -> AggJob:
+    try:
+        return AggJob(
+            job_id=record["job_id"],
+            master=record["master"],
+            workers=tuple(
+                (host, float(size)) for host, size in record["workers"]
+            ),
+            alpha=float(record["alpha"]),
+            start_time=float(record.get("start_time", 0.0)),
+            worker_delays=tuple(record.get("worker_delays", ())),
+            n_trees=int(record.get("n_trees", 1)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"bad job record {record!r}: {exc}") from exc
+
+
+def record_to_flow(record: Dict) -> BackgroundFlow:
+    try:
+        return BackgroundFlow(
+            flow_id=record["flow_id"],
+            src=record["src"],
+            dst=record["dst"],
+            size=float(record["size"]),
+            start_time=float(record.get("start_time", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"bad flow record {record!r}: {exc}") from exc
+
+
+def dump_workload(workload: Workload) -> str:
+    """Serialise a workload to JSONL text."""
+    lines = [json.dumps(job_to_record(job), sort_keys=True)
+             for job in workload.jobs]
+    lines += [json.dumps(flow_to_record(flow), sort_keys=True)
+              for flow in workload.background]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_workload(text: str) -> Workload:
+    """Parse JSONL text into a workload."""
+    workload = Workload()
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line {number}: invalid JSON: {exc}") from exc
+        kind = record.get("type")
+        if kind == "job":
+            workload.jobs.append(record_to_job(record))
+        elif kind == "background":
+            workload.background.append(record_to_flow(record))
+        else:
+            raise TraceError(f"line {number}: unknown record type {kind!r}")
+    return workload
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    Path(path).write_text(dump_workload(workload), encoding="utf-8")
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    return parse_workload(Path(path).read_text(encoding="utf-8"))
+
+
+def workload_summary(workload: Workload) -> Dict[str, float]:
+    """Headline statistics of a workload (used by ``trace inspect``)."""
+    worker_counts = [len(job.workers) for job in workload.jobs]
+    sizes = [size for job in workload.jobs for _, size in job.workers]
+    sizes += [flow.size for flow in workload.background]
+    total_bytes = workload.aggregatable_bytes + workload.background_bytes
+    return {
+        "jobs": len(workload.jobs),
+        "background_flows": len(workload.background),
+        "worker_flows": sum(worker_counts),
+        "mean_workers_per_job": mean(worker_counts) if worker_counts else 0.0,
+        "max_workers_per_job": max(worker_counts, default=0),
+        "total_bytes": total_bytes,
+        "aggregatable_byte_fraction": (
+            workload.aggregatable_bytes / total_bytes if total_bytes else 0.0
+        ),
+        "median_flow_bytes": percentile(sizes, 50.0) if sizes else 0.0,
+        "p99_flow_bytes": percentile(sizes, 99.0) if sizes else 0.0,
+    }

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro import cli
+
+
+class TestResolve:
+    def test_full_name(self):
+        assert cli.resolve("fig08_output_ratio") == "fig08_output_ratio"
+
+    def test_short_name(self):
+        assert cli.resolve("fig08") == "fig08_output_ratio"
+        assert cli.resolve("tab01") == "tab01_loc"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.resolve("fig99")
+
+    def test_ambiguous_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.resolve("fig1")  # fig10..fig19
+
+    def test_registry_matches_modules(self):
+        import importlib
+
+        for name in cli.EXPERIMENTS:
+            importlib.import_module(f"repro.experiments.{name}")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08_output_ratio" in out
+        assert out.count("\n") == len(cli.EXPERIMENTS)
+
+    def test_info(self, capsys):
+        assert cli.main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "quick" in out and "paper" in out
+
+    def test_run_quick_experiment(self, capsys):
+        assert cli.main(["run", "fig09", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "netagg" in out
+        assert "median_vs_rack" in out
+
+    def test_run_unscaled_experiment(self, capsys):
+        assert cli.main(["run", "tab01"]) == 0
+        out = capsys.readouterr().out
+        assert "application" in out
+
+    def test_run_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "out.txt"
+        assert cli.main(["run", "fig09", "--scale", "quick",
+                         "--out", str(target)]) == 0
+        assert "fig09" in target.read_text()
+
+    def test_run_seed_changes_workload(self, capsys):
+        cli.main(["run", "fig09", "--scale", "quick", "--seed", "1"])
+        first = capsys.readouterr().out
+        cli.main(["run", "fig09", "--scale", "quick", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.main(["run", "nonsense"])
+
+    def test_scaled_set_is_consistent(self):
+        # Every scaled module must actually accept a scale kwarg.
+        import importlib
+        import inspect
+
+        for name in cli.EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            params = inspect.signature(module.run).parameters
+            if name in cli._SCALED:
+                assert "scale" in params, name
+            else:
+                assert "scale" not in params, name
+
+
+class TestReplay:
+    def test_replay_single_strategy(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        cli.main(["trace", "generate", "--scale", "quick",
+                  "--out", str(out)])
+        capsys.readouterr()
+        assert cli.main(["replay", str(out), "--strategy", "netagg",
+                         "--scale", "quick"]) == 0
+        text = capsys.readouterr().out
+        assert "netagg" in text and "slowdown" in text
+
+    def test_replay_all_picks_a_winner(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        cli.main(["trace", "generate", "--scale", "quick",
+                  "--out", str(out)])
+        capsys.readouterr()
+        assert cli.main(["replay", str(out), "--scale", "quick"]) == 0
+        text = capsys.readouterr().out
+        assert "best 99th-percentile FCT:" in text
+        for name in ("none", "rack", "binary", "chain", "netagg"):
+            assert name in text

@@ -1,0 +1,150 @@
+"""Tests for distributed aggregation-tree construction."""
+
+import pytest
+
+from repro.aggregation import deploy_boxes
+from repro.core.tree import TreeBuilder
+from repro.topology import ThreeTierParams, three_tier
+from repro.topology.base import AGGR, CORE, TOR
+
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=4
+)
+
+
+def topo_with_boxes(tiers=(TOR, AGGR, CORE), boxes_per_switch=1):
+    topo = three_tier(SMALL)
+    deploy_boxes(topo, tiers=tiers, boxes_per_switch=boxes_per_switch)
+    return topo
+
+
+CROSS_POD_WORKERS = ["host:4", "host:5", "host:8", "host:12"]
+
+
+class TestBuild:
+    def test_every_worker_has_entry(self):
+        builder = TreeBuilder(topo_with_boxes())
+        tree = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        assert set(tree.worker_entry) == set(range(4))
+        assert all(entry is not None for entry in tree.worker_entry.values())
+
+    def test_single_root_reaches_master_tor(self):
+        builder = TreeBuilder(topo_with_boxes())
+        tree = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        roots = tree.roots()
+        assert len(roots) == 1
+        root = tree.boxes[roots[0]]
+        assert root.lane_to_parent[-1] == tree.master_tor
+
+    def test_tree_is_connected(self):
+        builder = TreeBuilder(topo_with_boxes())
+        tree = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        reachable = set()
+        frontier = tree.roots()
+        while frontier:
+            box_id = frontier.pop()
+            reachable.add(box_id)
+            frontier.extend(tree.boxes[box_id].children)
+        assert reachable == set(tree.boxes)
+
+    def test_parent_child_symmetry(self):
+        builder = TreeBuilder(topo_with_boxes())
+        tree = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        for box_id, vertex in tree.boxes.items():
+            for child in vertex.children:
+                assert tree.boxes[child].parent == box_id
+            if vertex.parent is not None:
+                assert box_id in tree.boxes[vertex.parent].children
+
+    def test_same_rack_worker_enters_master_tor_box(self):
+        builder = TreeBuilder(topo_with_boxes())
+        tree = builder.build("job", "host:0", ["host:1"])
+        entry = tree.worker_entry[0]
+        assert entry is not None
+        assert tree.boxes[entry].info.switch_id == "tor:0"
+
+    def test_depth_reflects_tiers(self):
+        builder = TreeBuilder(topo_with_boxes())
+        tree = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        # A cross-pod worker's entry box (its ToR) is 5 hops from master:
+        # tor -> aggr -> core -> aggr -> tor.
+        entry = tree.worker_entry[3]  # host:12, pod 1
+        assert tree.depth_of(entry) == 5
+
+    def test_master_as_worker_rejected(self):
+        builder = TreeBuilder(topo_with_boxes())
+        with pytest.raises(ValueError):
+            builder.build("job", "host:0", ["host:0"])
+
+    def test_deterministic(self):
+        builder = TreeBuilder(topo_with_boxes())
+        t1 = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        t2 = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        assert t1.worker_entry == t2.worker_entry
+        assert set(t1.boxes) == set(t2.boxes)
+
+
+class TestPartialDeployments:
+    def test_no_boxes_all_direct(self):
+        builder = TreeBuilder(three_tier(SMALL))
+        tree = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        assert tree.direct_workers() == [0, 1, 2, 3]
+        assert not tree.boxes
+
+    def test_core_only_splits_workers(self):
+        builder = TreeBuilder(topo_with_boxes(tiers=(CORE,)))
+        tree = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        # Pod-0 workers (hosts 4,5) never cross a core: direct.
+        assert 0 in tree.direct_workers()
+        assert 1 in tree.direct_workers()
+        # Pod-1 workers aggregate at the core box.
+        assert tree.worker_entry[2] is not None
+        assert tree.worker_entry[3] is not None
+
+    def test_aggr_only_skips_core_in_lane(self):
+        builder = TreeBuilder(topo_with_boxes(tiers=(AGGR,)))
+        tree = builder.build("job", "host:0", CROSS_POD_WORKERS)
+        entry = tree.worker_entry[3]
+        vertex = tree.boxes[entry]
+        # Lane from the pod-1 aggr box to its parent passes the core
+        # switch without aggregation there.
+        assert vertex.parent is not None
+        assert any(lane.startswith("core:")
+                   for lane in vertex.lane_to_parent)
+
+
+class TestMultipleTrees:
+    def test_disjoint_lanes_when_possible(self):
+        builder = TreeBuilder(topo_with_boxes())
+        trees = builder.build_many("job", "host:0", CROSS_POD_WORKERS, 4)
+        cores = {
+            builder.core("job", t.tree_index) for t in trees
+        }
+        # 2 cores, 4 trees: both cores must be exercised.
+        assert len(cores) == 2
+
+    def test_n_trees_validation(self):
+        builder = TreeBuilder(topo_with_boxes())
+        with pytest.raises(ValueError):
+            builder.build_many("job", "host:0", CROSS_POD_WORKERS, 0)
+
+
+class TestScaleOut:
+    def test_box_choice_balances(self):
+        builder = TreeBuilder(topo_with_boxes(boxes_per_switch=4))
+        chosen = {
+            builder.box_id(f"job{i}", 0, "core:0") for i in range(32)
+        }
+        assert len(chosen) > 1
+
+
+class TestScaleOutTrees:
+    def test_trees_use_distinct_boxes_on_same_switch(self):
+        """An application's trees round-robin over a switch's boxes --
+        the mechanism behind Fig. 13's scale-out."""
+        builder = TreeBuilder(topo_with_boxes(boxes_per_switch=4))
+        for switch in ("core:0", "tor:0", "aggr:0:0"):
+            chosen = {
+                builder.box_id("job", t, switch) for t in range(4)
+            }
+            assert len(chosen) == 4

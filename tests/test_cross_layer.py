@@ -1,0 +1,114 @@
+"""Cross-layer consistency: the flow simulator and the functional
+platform must wire the *same* aggregation trees, and the functional
+byte counts must match the wire encoding exactly."""
+
+import pytest
+
+from repro.aggbox.functions import TopKFunction
+from repro.aggregation import NetAggStrategy, deploy_boxes
+from repro.core import NetAggPlatform
+from repro.core.tree import TreeBuilder
+from repro.netsim.routing import EcmpRouter
+from repro.topology import ThreeTierParams, three_tier
+from repro.units import MB
+from repro.wire.framing import frame
+from repro.wire.records import (
+    SearchResult,
+    decode_search_results,
+    encode_search_results,
+)
+from repro.workload import AggJob
+
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=4
+)
+WORKERS = ("host:4", "host:8", "host:12")
+
+
+def make_topo():
+    topo = three_tier(SMALL)
+    deploy_boxes(topo)
+    return topo
+
+
+class TestSharedTreeConstruction:
+    def test_strategy_and_platform_use_same_boxes(self):
+        """The simulated flows traverse exactly the boxes the platform's
+        trees contain -- both are built by repro.core.tree."""
+        topo = make_topo()
+        job = AggJob("req-7", "host:0",
+                     tuple((h, MB) for h in WORKERS), alpha=0.1)
+        specs = NetAggStrategy().plan_job(job, topo, EcmpRouter())
+        sim_boxes = set()
+        for spec in specs:
+            for link in spec.path:
+                if link.startswith("proc:"):
+                    sim_boxes.add(link[len("proc:"):])
+
+        builder = TreeBuilder(topo)
+        tree = builder.build("req-7", "host:0", list(WORKERS))
+        assert sim_boxes == set(tree.boxes)
+
+    def test_tree_selection_consistent_across_layers(self):
+        topo = make_topo()
+        builder = TreeBuilder(topo)
+        for key in ("a", "b", "c"):
+            t_strategy = builder.build(key, "host:0", list(WORKERS), 1)
+            t_again = builder.build(key, "host:0", list(WORKERS), 1)
+            assert set(t_strategy.boxes) == set(t_again.boxes)
+
+
+class TestByteAccounting:
+    def test_platform_bytes_match_wire_encoding(self):
+        topo = make_topo()
+        platform = NetAggPlatform(topo)
+        platform.register_app("solr", TopKFunction(k=3),
+                              encode_search_results,
+                              decode_search_results)
+        partials = [
+            (host, [SearchResult(i * 10 + j, float(j)) for j in range(4)])
+            for i, host in enumerate(WORKERS)
+        ]
+        outcome = platform.execute_request("solr", "r", "host:0", partials)
+
+        # Recompute expected framed sizes of everything entering boxes:
+        # the three worker payloads plus every box-to-box aggregate.
+        tree = platform.build_trees("r", "host:0",
+                                    [h for h, _ in partials])[0]
+        fn = TopKFunction(k=3)
+        expected = sum(
+            len(frame(encode_search_results(p))) for _, p in partials
+        )
+
+        def aggregate_of(box_id):
+            vertex = tree.boxes[box_id]
+            inputs = [partials[w][1] for w in vertex.direct_workers]
+            inputs += [aggregate_of(c) for c in vertex.children]
+            return fn.merge(inputs)
+
+        for box_id, vertex in tree.boxes.items():
+            if vertex.parent is not None:
+                payload = frame(encode_search_results(
+                    aggregate_of(box_id)))
+                expected += len(payload)
+        assert outcome.bytes_into_boxes == pytest.approx(expected)
+
+    def test_aggregation_reduces_bytes_into_master_path(self):
+        """The box nearest the master receives less than the raw total
+        whenever the merge actually reduces (top-k across many)."""
+        topo = make_topo()
+        platform = NetAggPlatform(topo)
+        platform.register_app("solr", TopKFunction(k=2),
+                              encode_search_results,
+                              decode_search_results)
+        partials = [
+            (host, [SearchResult(i * 100 + j, float(j), "x" * 50)
+                    for j in range(20)])
+            for i, host in enumerate(WORKERS)
+        ]
+        raw_bytes = sum(
+            len(frame(encode_search_results(p))) for _, p in partials
+        )
+        outcome = platform.execute_request("solr", "r", "host:0", partials)
+        final_payload = encode_search_results(outcome.value)
+        assert len(final_payload) < raw_bytes / 3

@@ -1,0 +1,109 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.netsim.engine import EventQueue
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(3.0, lambda: order.append("c"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for name in "abc":
+            queue.schedule(1.0, lambda n=name: order.append(n))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5.0, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [5.0]
+        assert queue.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        queue = EventQueue(start_time=10.0)
+        with pytest.raises(ValueError):
+            queue.schedule_at(5.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        queue = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            queue.schedule(1.0, lambda: order.append("second"))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert order == ["first", "second"]
+        assert queue.now == 2.0
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        token = queue.schedule(1.0, lambda: fired.append(1))
+        queue.cancel(token)
+        queue.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent_after_run(self):
+        queue = EventQueue()
+        token = queue.schedule(1.0, lambda: None)
+        queue.run()
+        queue.cancel(token)  # no-op, must not raise
+        assert len(queue) == 0
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        token = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(token)
+        assert len(queue) == 1
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(5.0, lambda: fired.append(5))
+        executed = queue.run(until=2.0)
+        assert executed == 1
+        assert fired == [1]
+        assert queue.now == 2.0  # clock advanced to the horizon
+
+    def test_run_max_events(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(5):
+            queue.schedule(float(i + 1), lambda i=i: fired.append(i))
+        queue.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_on_empty_returns_false(self):
+        assert EventQueue().step() is False
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(3.0, lambda: None)
+        assert queue.peek_time() == 3.0

@@ -1,0 +1,170 @@
+"""Tests for failure recovery and straggler mitigation."""
+
+import pytest
+
+from repro.aggregation import deploy_boxes
+from repro.core.failure import FailureDetector, rewire_failed_box
+from repro.core.straggler import StragglerMonitor, StragglerPolicy
+from repro.core.tree import TreeBuilder
+from repro.topology import ThreeTierParams, three_tier
+
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=4
+)
+WORKERS = ["host:4", "host:5", "host:8", "host:12"]
+
+
+def make_tree():
+    topo = three_tier(SMALL)
+    deploy_boxes(topo)
+    return TreeBuilder(topo).build("job", "host:0", WORKERS)
+
+
+class TestRewireFailedBox:
+    def test_children_reparented(self):
+        tree = make_tree()
+        # Fail a mid-tree box: pick a non-root box with children.
+        candidates = [
+            b for b, v in tree.boxes.items() if v.parent and v.children
+        ]
+        failed = candidates[0]
+        parent = tree.boxes[failed].parent
+        children = list(tree.boxes[failed].children)
+        rewired = rewire_failed_box(tree, failed)
+        assert failed not in rewired.boxes
+        for child in children:
+            assert rewired.boxes[child].parent == parent
+            assert child in rewired.boxes[parent].children
+
+    def test_direct_workers_move_to_parent(self):
+        tree = make_tree()
+        entry = tree.worker_entry[0]  # host:4's ToR box
+        parent = tree.boxes[entry].parent
+        rewired = rewire_failed_box(tree, entry)
+        assert rewired.worker_entry[0] == parent
+        assert 0 in rewired.boxes[parent].direct_workers
+
+    def test_root_failure_sends_children_to_master(self):
+        tree = make_tree()
+        (root,) = tree.roots()
+        children = list(tree.boxes[root].children)
+        rewired = rewire_failed_box(tree, root)
+        for child in children:
+            assert rewired.boxes[child].parent is None
+        assert set(rewired.roots()) == set(children)
+
+    def test_lane_joined_through_failed_box(self):
+        tree = make_tree()
+        candidates = [
+            b for b, v in tree.boxes.items() if v.parent and v.children
+        ]
+        failed = candidates[0]
+        child = tree.boxes[failed].children[0]
+        old_lane = tree.boxes[child].lane_to_parent
+        rewired = rewire_failed_box(tree, failed)
+        new_lane = rewired.boxes[child].lane_to_parent
+        assert len(new_lane) > len(old_lane)
+        assert new_lane[: len(old_lane)] == old_lane
+
+    def test_unknown_box_raises(self):
+        tree = make_tree()
+        with pytest.raises(KeyError):
+            rewire_failed_box(tree, "box:ghost")
+
+    def test_original_tree_untouched(self):
+        tree = make_tree()
+        (root,) = tree.roots()
+        rewire_failed_box(tree, root)
+        assert root in tree.boxes
+
+    def test_cascading_failures(self):
+        tree = make_tree()
+        survivors = sorted(tree.boxes)
+        while survivors:
+            tree = rewire_failed_box(tree, survivors[0])
+            survivors = sorted(tree.boxes)
+        # Everything failed: all workers go direct.
+        assert tree.direct_workers() == [0, 1, 2, 3]
+
+
+class TestFailureDetector:
+    def test_healthy_box_not_missing(self):
+        detector = FailureDetector(timeout=1.0)
+        detector.watch("b1", now=0.0)
+        detector.heartbeat("b1", now=0.9)
+        assert detector.missing(now=1.5) == []
+
+    def test_overdue_box_reported(self):
+        detector = FailureDetector(timeout=1.0)
+        detector.watch("b1", now=0.0)
+        assert detector.missing(now=1.5) == ["b1"]
+
+    def test_heartbeat_resets_clock(self):
+        detector = FailureDetector(timeout=1.0)
+        detector.watch("b1", now=0.0)
+        detector.heartbeat("b1", now=2.0)
+        assert detector.missing(now=2.5) == []
+
+    def test_unwatched_heartbeat_raises(self):
+        detector = FailureDetector()
+        with pytest.raises(KeyError):
+            detector.heartbeat("ghost", now=0.0)
+
+    def test_forget(self):
+        detector = FailureDetector(timeout=1.0)
+        detector.watch("b1")
+        detector.forget("b1")
+        assert detector.missing(now=10.0) == []
+        assert detector.watched() == set()
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            FailureDetector(timeout=0.0)
+
+
+class TestStragglerMonitor:
+    def test_fast_box_is_ok(self):
+        monitor = StragglerMonitor(StragglerPolicy(latency_threshold=1.0))
+        assert monitor.observe("b1", "r1", latency=0.5) == "ok"
+        assert not monitor.is_redirected("b1", "r1")
+
+    def test_slow_box_redirected_per_request(self):
+        monitor = StragglerMonitor(StragglerPolicy(latency_threshold=1.0,
+                                                   repeat_limit=3))
+        assert monitor.observe("b1", "r1", latency=2.0) == "redirect"
+        assert monitor.is_redirected("b1", "r1")
+        assert not monitor.is_redirected("b1", "r2")
+
+    def test_repeat_offender_fails(self):
+        monitor = StragglerMonitor(StragglerPolicy(latency_threshold=1.0,
+                                                   repeat_limit=3))
+        assert monitor.observe("b1", "r1", latency=2.0) == "redirect"
+        assert monitor.observe("b1", "r2", latency=2.0) == "redirect"
+        assert monitor.observe("b1", "r3", latency=2.0) == "fail"
+        assert monitor.permanently_failed() == ["b1"]
+
+    def test_same_request_does_not_accumulate(self):
+        """Slowness must repeat across *different* requests (§3.1)."""
+        monitor = StragglerMonitor(StragglerPolicy(latency_threshold=1.0,
+                                                   repeat_limit=2))
+        monitor.observe("b1", "r1", latency=2.0)
+        assert monitor.observe("b1", "r1", latency=3.0) != "fail"
+        assert monitor.slow_request_count("b1") == 1
+
+    def test_reset_box(self):
+        monitor = StragglerMonitor(StragglerPolicy(repeat_limit=1))
+        monitor.observe("b1", "r1", latency=2.0)
+        monitor.reset_box("b1")
+        assert monitor.permanently_failed() == []
+        assert not monitor.is_redirected("b1", "r1")
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            StragglerPolicy(latency_threshold=0.0)
+        with pytest.raises(ValueError):
+            StragglerPolicy(repeat_limit=0)
+
+    def test_negative_latency_rejected(self):
+        monitor = StragglerMonitor()
+        with pytest.raises(ValueError):
+            monitor.observe("b1", "r1", latency=-1.0)

@@ -1,0 +1,169 @@
+"""Tests for simulation metric helpers."""
+
+import pytest
+
+from repro.netsim.metrics import (
+    FctSummary,
+    fct_cdf,
+    fct_summary,
+    link_traffic_cdf,
+    median_link_traffic,
+    relative_p99,
+)
+from repro.netsim.network import Link, Network
+from repro.netsim.simulator import FlowSim, FlowSpec
+
+
+def run_sim(sizes, capacity=10.0):
+    net = Network([Link("l", capacity)])
+    sim = FlowSim(net)
+    for i, size in enumerate(sizes):
+        sim.add_flow(FlowSpec(f"f{i}", size=size, path=("l",),
+                              aggregatable=(i % 2 == 0)))
+    return sim.run()
+
+
+class TestFctSummary:
+    def test_fields(self):
+        summary = FctSummary.of([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+        assert summary.maximum == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FctSummary.of([])
+
+    def test_from_result_with_filters(self):
+        result = run_sim([10.0, 20.0, 30.0])
+        assert fct_summary(result).count == 3
+        assert fct_summary(result, aggregatable=True).count == 2
+
+    def test_no_match_raises(self):
+        result = run_sim([10.0])
+        with pytest.raises(ValueError):
+            fct_summary(result, kinds=("ghost",))
+
+
+class TestRelativeP99:
+    def test_identity_is_one(self):
+        result = run_sim([10.0, 20.0])
+        assert relative_p99(result, result) == pytest.approx(1.0)
+
+    def test_faster_network_below_one(self):
+        slow = run_sim([10.0, 20.0], capacity=5.0)
+        fast = run_sim([10.0, 20.0], capacity=10.0)
+        assert relative_p99(fast, slow) == pytest.approx(0.5)
+
+
+class TestCdfs:
+    def test_fct_cdf_reaches_one(self):
+        result = run_sim([10.0, 20.0, 30.0])
+        points = fct_cdf(result)
+        assert points[-1][1] == pytest.approx(1.0)
+        assert len(points) == 3
+
+    def test_link_traffic_cdf(self):
+        result = run_sim([10.0, 20.0])
+        points = link_traffic_cdf(result)
+        assert points == [(30.0, 1.0)]
+
+    def test_median_link_traffic(self):
+        result = run_sim([10.0, 20.0])
+        assert median_link_traffic(result) == 30.0
+
+
+class TestSlowdowns:
+    def test_uncontended_flow_has_slowdown_one(self):
+        from repro.netsim.metrics import slowdowns
+
+        result = run_sim([100.0])
+        net = result.network
+        (value,) = slowdowns(result, net)
+        assert value == pytest.approx(1.0)
+
+    def test_sharing_raises_slowdown(self):
+        from repro.netsim.metrics import slowdown_summary
+
+        result = run_sim([100.0, 100.0])
+        summary = slowdown_summary(result, result.network)
+        assert summary.maximum == pytest.approx(2.0)
+
+    def test_rate_cap_counts_as_bottleneck(self):
+        from repro.netsim.metrics import slowdowns
+        from repro.netsim.network import Link, Network
+        from repro.netsim.simulator import FlowSim, FlowSpec
+
+        net = Network([Link("l", 10.0)])
+        sim = FlowSim(net)
+        sim.add_flow(FlowSpec("f", size=10.0, path=("l",), rate_cap=2.0))
+        result = sim.run()
+        (value,) = slowdowns(result, net)
+        assert value == pytest.approx(1.0)  # the cap *is* its ideal
+
+    def test_pathless_flows_skipped(self):
+        from repro.netsim.metrics import slowdowns
+        from repro.netsim.network import Link, Network
+        from repro.netsim.simulator import FlowSim, FlowSpec
+
+        net = Network([Link("l", 10.0)])
+        sim = FlowSim(net)
+        sim.add_flow(FlowSpec("empty", size=5.0))
+        sim.add_flow(FlowSpec("real", size=5.0, path=("l",)))
+        result = sim.run()
+        assert len(slowdowns(result, net)) == 1
+
+
+class TestTierTraffic:
+    def test_tiers_partition_topology_traffic(self):
+        from repro.aggregation import NetAggStrategy, deploy_boxes
+        from repro.netsim.metrics import tier_traffic
+        from repro.topology import ThreeTierParams, three_tier
+        from repro.units import MB
+        from repro.workload import AggJob, Workload
+
+        topo = three_tier(ThreeTierParams(
+            n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2,
+            hosts_per_tor=4,
+        ))
+        deploy_boxes(topo)
+        job = AggJob("j", "host:0",
+                     (("host:4", MB), ("host:12", MB)), alpha=0.1)
+        sim = FlowSim(topo.network)
+        sim.add_flows(NetAggStrategy().plan(Workload(jobs=[job]), topo))
+        result = sim.run()
+        tiers = tier_traffic(result)
+        assert tiers["edge"] > 0
+        assert tiers["box"] > 0
+        assert sum(tiers.values()) == pytest.approx(
+            sum(result.link_traffic(wire_only=True).values())
+        )
+
+    def test_netagg_reduces_core_tier_bytes(self):
+        """The paper's core-relief mechanism, observed directly."""
+        from repro.aggregation import (NetAggStrategy, NoAggregationStrategy,
+                                       deploy_boxes)
+        from repro.netsim.metrics import tier_traffic
+        from repro.topology import ThreeTierParams, three_tier
+        from repro.units import MB
+        from repro.workload import AggJob, Workload
+
+        params = ThreeTierParams(n_pods=2, tors_per_pod=2,
+                                 aggrs_per_pod=2, n_cores=2,
+                                 hosts_per_tor=4)
+        job = AggJob("j", "host:0",
+                     tuple((f"host:{h}", MB) for h in (8, 9, 12, 13)),
+                     alpha=0.1)
+
+        def core_bytes(strategy, with_boxes):
+            topo = three_tier(params)
+            if with_boxes:
+                deploy_boxes(topo)
+            sim = FlowSim(topo.network)
+            sim.add_flows(strategy.plan(Workload(jobs=[job]), topo))
+            return tier_traffic(sim.run())["aggr-core"]
+
+        plain = core_bytes(NoAggregationStrategy(), False)
+        netagg = core_bytes(NetAggStrategy(), True)
+        assert netagg < plain / 3

@@ -1,0 +1,123 @@
+"""Tests for distributed gradient aggregation (the third domain app)."""
+
+import pytest
+
+from repro.aggbox.localtree import tree_aggregate
+from repro.aggregation import deploy_boxes
+from repro.apps.mlgrad import (
+    VectorSumFunction,
+    decode_vector,
+    encode_vector,
+    local_gradient,
+    make_regression_data,
+    mse,
+    netagg_aggregator,
+    train,
+)
+from repro.core import NetAggPlatform
+from repro.topology import ThreeTierParams, three_tier
+
+TRUE_WEIGHTS = [2.0, -1.0, 0.5]
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=4
+)
+WORKER_HOSTS = ["host:1", "host:4", "host:8", "host:12"]
+
+
+def make_shards(n=400, noise=0.0, seed=3):
+    rows = make_regression_data(n, TRUE_WEIGHTS, noise=noise, seed=seed)
+    return [rows[i::4] for i in range(4)]
+
+
+class TestVectorSum:
+    def test_merge_sums_elementwise(self):
+        fn = VectorSumFunction()
+        assert fn.merge([[1.0, 2.0], [3.0, 4.0]]) == [4.0, 6.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorSumFunction().merge([[1.0], [1.0, 2.0]])
+
+    def test_empty(self):
+        assert VectorSumFunction().merge([]) == []
+
+    def test_tree_merge_close_to_flat(self):
+        fn = VectorSumFunction()
+        vectors = [[float(i), float(-i)] for i in range(9)]
+        flat = fn.merge(vectors)
+        tree = tree_aggregate(fn, vectors)
+        assert tree == pytest.approx(flat)
+
+    def test_codec_roundtrip(self):
+        vector = [0.5, -1.25, 3e9, 0.0]
+        assert decode_vector(encode_vector(vector)) == vector
+
+    def test_output_bytes_is_one_vector(self):
+        fn = VectorSumFunction()
+        assert fn.output_bytes([80.0, 80.0, 80.0]) == 80.0
+
+
+class TestTraining:
+    def test_learns_true_weights(self):
+        result = train(make_shards(), n_features=3, iterations=200,
+                       learning_rate=0.1)
+        for learned, true in zip(result.weights, TRUE_WEIGHTS):
+            assert learned == pytest.approx(true, abs=1e-3)
+
+    def test_loss_decreases(self):
+        result = train(make_shards(noise=0.05), n_features=3,
+                       iterations=50)
+        assert result.losses[-1] < result.losses[0] / 10
+
+    def test_gradient_matches_analytic(self):
+        rows = [([1.0, 0.0], 3.0)]
+        grad = local_gradient([0.0, 0.0], rows)
+        # d/dw of (w.x - y)^2 at w=0: 2 * (-3) * x = [-6, 0].
+        assert grad == pytest.approx([-6.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train([], n_features=3)
+        with pytest.raises(ValueError):
+            train(make_shards(), n_features=3, iterations=0)
+
+
+class TestOnPathTraining:
+    def make_platform(self):
+        topo = three_tier(SMALL)
+        deploy_boxes(topo)
+        return NetAggPlatform(topo)
+
+    def test_netagg_training_matches_central(self):
+        shards = make_shards(noise=0.02)
+        central = train(shards, n_features=3, iterations=30)
+
+        platform = self.make_platform()
+        aggregate = netagg_aggregator(platform, "host:0", WORKER_HOSTS)
+        on_path = train(shards, n_features=3, iterations=30,
+                        aggregate=aggregate)
+        for a, b in zip(central.weights, on_path.weights):
+            assert a == pytest.approx(b, abs=1e-9)
+        assert on_path.final_loss == pytest.approx(central.final_loss,
+                                                   rel=1e-6)
+
+    def test_every_step_is_one_request(self):
+        platform = self.make_platform()
+        aggregate = netagg_aggregator(platform, "host:0", WORKER_HOSTS)
+        train(make_shards(), n_features=3, iterations=5,
+              aggregate=aggregate)
+        # Five steps -> five distinct requests on the entry boxes.
+        counted = set()
+        for info in platform.topology.all_boxes():
+            runtime = platform.box_runtime(info.box_id)
+            for step in range(5):
+                if runtime.last_processed("mlgrad",
+                                          f"grad-step-{step}@t0"):
+                    counted.add(step)
+        assert counted == set(range(5))
+
+    def test_gradient_count_must_match_workers(self):
+        platform = self.make_platform()
+        aggregate = netagg_aggregator(platform, "host:0", WORKER_HOSTS)
+        with pytest.raises(ValueError):
+            aggregate(0, [[1.0]])

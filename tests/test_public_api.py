@@ -1,0 +1,124 @@
+"""Public-API smoke tests: imports, exports and paper-scale builds."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.units",
+    "repro.netsim",
+    "repro.netsim.engine",
+    "repro.netsim.fairness",
+    "repro.netsim.network",
+    "repro.netsim.routing",
+    "repro.netsim.simulator",
+    "repro.netsim.metrics",
+    "repro.topology",
+    "repro.topology.base",
+    "repro.topology.threetier",
+    "repro.topology.fattree",
+    "repro.workload",
+    "repro.workload.synthetic",
+    "repro.workload.placement",
+    "repro.workload.stragglers",
+    "repro.aggregation",
+    "repro.aggregation.base",
+    "repro.aggregation.edge",
+    "repro.aggregation.onpath",
+    "repro.core",
+    "repro.core.tree",
+    "repro.core.shim",
+    "repro.core.platform",
+    "repro.core.failure",
+    "repro.core.straggler",
+    "repro.core.multicast",
+    "repro.aggbox",
+    "repro.aggbox.functions",
+    "repro.aggbox.localtree",
+    "repro.aggbox.scheduler",
+    "repro.aggbox.box",
+    "repro.aggbox.isolation",
+    "repro.wire",
+    "repro.wire.serializer",
+    "repro.wire.framing",
+    "repro.wire.records",
+    "repro.apps.solr",
+    "repro.apps.hadoop",
+    "repro.cluster",
+    "repro.cost",
+    "repro.experiments",
+]
+
+EXPERIMENT_MODULES = [
+    "fig02_processing_rate", "fig03_cost", "fig06_fct_cdf",
+    "fig07_nonagg_cdf", "fig08_output_ratio", "fig09_link_traffic",
+    "fig10_agg_fraction", "fig11_oversub", "fig12_partial",
+    "fig13_10g_scaleout", "fig14_stragglers", "fig15_localtree",
+    "fig16_solr_throughput", "fig17_solr_latency", "fig18_solr_ratio",
+    "fig19_solr_tworack", "fig20_solr_scaleout", "fig21_solr_scaleup",
+    "fig22_hadoop_jobs", "fig23_hadoop_ratio", "fig24_hadoop_datasize",
+    "fig25_fair_fixed", "fig26_fair_adaptive", "tab01_loc",
+    "ablation_trees", "ablation_placement", "ablation_streaming",
+    "ablation_routing", "ablation_multicast",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_imports(package):
+    module = importlib.import_module(package)
+    assert module is not None
+
+
+@pytest.mark.parametrize("package", [
+    "repro", "repro.netsim", "repro.topology", "repro.workload",
+    "repro.aggregation", "repro.core", "repro.aggbox", "repro.wire",
+    "repro.cluster", "repro.cost", "repro.experiments",
+])
+def test_dunder_all_resolves(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("name", EXPERIMENT_MODULES)
+def test_experiment_modules_expose_run_and_main(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    assert callable(module.run)
+    assert callable(module.main)
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_paper_scale_topology_builds():
+    """The paper's 1,024-server topology constructs quickly."""
+    from repro.aggregation import deploy_boxes
+    from repro.topology import ThreeTierParams, three_tier
+
+    params = ThreeTierParams()
+    topo = three_tier(params)
+    assert len(topo.hosts()) == 1024
+    n_boxes = deploy_boxes(topo)
+    assert n_boxes == 64 + 16 + 8
+    paths = topo.equal_cost_paths("host:0", "host:1023")
+    assert len(paths) == 2 * 8 * 2  # aggr x core x aggr lanes
+
+
+def test_paper_scale_tree_construction():
+    from repro.aggregation import deploy_boxes
+    from repro.core.tree import TreeBuilder
+    from repro.topology import ThreeTierParams, three_tier
+
+    topo = three_tier(ThreeTierParams())
+    deploy_boxes(topo)
+    builder = TreeBuilder(topo)
+    workers = [f"host:{i * 16}" for i in range(1, 40)]
+    trees = builder.build_many("big-job", "host:0", workers, 4)
+    assert len(trees) == 4
+    for tree in trees:
+        assert len(tree.roots()) >= 1
+        assert set(tree.worker_entry) == set(range(len(workers)))

@@ -1,0 +1,80 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.report import bar_chart, series_chart, sparkline, summarise
+
+
+def make_result():
+    result = ExperimentResult(
+        experiment="demo",
+        description="a demo result",
+        columns=("alpha", "netagg", "rack", "name"),
+    )
+    result.add_row(alpha=0.1, netagg=0.3, rack=1.0, name="a")
+    result.add_row(alpha=0.5, netagg=0.5, rack=1.0, name="b")
+    result.add_row(alpha=1.0, netagg=0.9, rack=1.0, name="c")
+    return result
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line == "".join(sorted(line))
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        chart = bar_chart(make_result(), "name", "netagg")
+        assert chart.count("\n") == 3
+        assert "0.300" in chart and "0.900" in chart
+
+    def test_longest_bar_is_max(self):
+        chart = bar_chart(make_result(), "name", "netagg", width=10)
+        lines = chart.splitlines()[1:]
+        bars = [line.count("█") for line in lines]
+        assert max(bars) == bars[-1] == 10
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            bar_chart(make_result(), "name", "ghost")
+
+
+class TestSeriesChart:
+    def test_contains_marks_and_legend(self):
+        chart = series_chart(make_result(), "alpha",
+                             series=("netagg", "rack"))
+        assert "* netagg" in chart
+        assert "o rack" in chart
+        assert "*" in chart.splitlines()[3] or "*" in chart
+
+    def test_auto_series_excludes_non_numeric(self):
+        chart = series_chart(make_result(), "alpha")
+        assert "name" not in chart.splitlines()[-1]
+
+    def test_bounds_in_header(self):
+        chart = series_chart(make_result(), "alpha")
+        assert "[0.3, 1]" in chart or "0.3" in chart
+
+
+class TestSummarise:
+    def test_one_line_per_numeric_column(self):
+        text = summarise(make_result())
+        assert "alpha" in text
+        assert "netagg" in text
+        assert "name" not in text.splitlines()[-1]
+
+    def test_ranges_shown(self):
+        text = summarise(make_result())
+        assert "0.3" in text and "0.9" in text

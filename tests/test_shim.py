@@ -1,0 +1,139 @@
+"""Tests for worker and master shim layers."""
+
+import pytest
+
+from repro.aggregation import deploy_boxes
+from repro.core.shim import MasterShim, WorkerShim
+from repro.core.tree import TreeBuilder
+from repro.topology import ThreeTierParams, three_tier
+
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=4
+)
+WORKERS = ["host:4", "host:8", "host:12"]
+
+
+def make_trees(n_trees=2, with_boxes=True):
+    topo = three_tier(SMALL)
+    if with_boxes:
+        deploy_boxes(topo)
+    return TreeBuilder(topo).build_many("req", "host:0", WORKERS, n_trees)
+
+
+class TestWorkerShim:
+    def test_redirect_deterministic(self):
+        trees = make_trees()
+        shim = WorkerShim("host:4", 0, trees)
+        assert shim.redirect_for("key-1") == shim.redirect_for("key-1")
+
+    def test_redirect_spreads_over_trees(self):
+        trees = make_trees(n_trees=2)
+        shim = WorkerShim("host:4", 0, trees)
+        indices = {shim.redirect_for(f"key-{i}").tree_index
+                   for i in range(32)}
+        assert indices == {0, 1}
+
+    def test_redirect_without_boxes_is_passthrough(self):
+        trees = make_trees(with_boxes=False)
+        shim = WorkerShim("host:4", 0, trees)
+        assert shim.redirect_for("key").box_id is None
+
+    def test_split_partitions_all_items(self):
+        trees = make_trees(n_trees=3)
+        shim = WorkerShim("host:4", 0, trees)
+        items = [(f"k{i}", i) for i in range(50)]
+        parts = shim.split(items)
+        assert sorted(v for part in parts.values() for v in part) == \
+            list(range(50))
+        assert len(parts) == 3
+
+    def test_split_same_key_same_tree(self):
+        trees = make_trees(n_trees=3)
+        shim = WorkerShim("host:4", 0, trees)
+        parts = shim.split([("k", 1), ("k", 2)])
+        non_empty = [i for i, part in parts.items() if part]
+        assert len(non_empty) == 1
+
+    def test_requires_trees(self):
+        with pytest.raises(ValueError):
+            WorkerShim("host:4", 0, [])
+
+    def test_worker_must_be_in_trees(self):
+        trees = make_trees()
+        with pytest.raises(ValueError):
+            WorkerShim("host:4", 99, trees)
+
+
+class TestMasterShim:
+    def test_expected_counts_exclude_direct_workers(self):
+        trees = make_trees(n_trees=1, with_boxes=False)
+        shim = MasterShim("host:0")
+        expected = shim.intercept_request("r1", trees)
+        assert expected == {0: 0}  # everything direct, boxes expect nothing
+
+    def test_expected_counts_with_boxes(self):
+        trees = make_trees(n_trees=1)
+        shim = MasterShim("host:0")
+        expected = shim.intercept_request("r1", trees)
+        assert expected == {0: len(WORKERS)}
+
+    def test_duplicate_request_rejected(self):
+        trees = make_trees()
+        shim = MasterShim("host:0")
+        shim.intercept_request("r1", trees)
+        with pytest.raises(ValueError):
+            shim.intercept_request("r1", trees)
+
+    def test_completion_requires_all_trees(self):
+        trees = make_trees(n_trees=2)
+        shim = MasterShim("host:0")
+        shim.intercept_request("r1", trees)
+        shim.deliver_aggregate("r1", 0, [1])
+        assert not shim.is_complete("r1")
+        shim.deliver_aggregate("r1", 1, [2])
+        assert shim.is_complete("r1")
+
+    def test_duplicate_aggregate_rejected(self):
+        trees = make_trees(n_trees=1)
+        shim = MasterShim("host:0")
+        shim.intercept_request("r1", trees)
+        shim.deliver_aggregate("r1", 0, [1])
+        with pytest.raises(ValueError):
+            shim.deliver_aggregate("r1", 0, [1])
+
+    def test_empty_result_emulation(self):
+        """All data on worker 0; others get empty responses (§3.2.2)."""
+        trees = make_trees(n_trees=1)
+        shim = MasterShim("host:0")
+        shim.intercept_request("r1", trees)
+        shim.deliver_aggregate("r1", 0, [42])
+        responses = shim.emulate_worker_responses("r1")
+        assert responses[0] == (0, [42])
+        assert all(value is None for _, value in responses[1:])
+        assert len(responses) == len(WORKERS)
+
+    def test_multiple_trees_need_merge(self):
+        trees = make_trees(n_trees=2)
+        shim = MasterShim("host:0")
+        shim.intercept_request("r1", trees)
+        shim.deliver_aggregate("r1", 0, [1])
+        shim.deliver_aggregate("r1", 1, [2])
+        with pytest.raises(ValueError):
+            shim.emulate_worker_responses("r1")
+        responses = shim.emulate_worker_responses(
+            "r1", merge=lambda parts: [x for p in parts for x in p]
+        )
+        assert responses[0][1] == [1, 2]
+
+    def test_incomplete_request_raises(self):
+        trees = make_trees(n_trees=1)
+        shim = MasterShim("host:0")
+        shim.intercept_request("r1", trees)
+        with pytest.raises(RuntimeError):
+            shim.emulate_worker_responses("r1")
+        assert shim.pending_requests() == ["r1"]
+
+    def test_unknown_request_raises(self):
+        shim = MasterShim("host:0")
+        with pytest.raises(KeyError):
+            shim.is_complete("ghost")

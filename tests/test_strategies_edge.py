@@ -1,0 +1,235 @@
+"""Tests for the edge-based aggregation strategies."""
+
+import pytest
+
+from repro.aggregation import (
+    BinaryTreeStrategy,
+    ChainStrategy,
+    DAryTreeStrategy,
+    NoAggregationStrategy,
+    RackLevelStrategy,
+)
+from repro.netsim import FlowSim
+from repro.netsim.routing import EcmpRouter
+from repro.topology import ThreeTierParams, three_tier
+from repro.units import MB
+from repro.workload import AggJob, BackgroundFlow, Workload
+
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=4
+)
+
+
+def make_topo():
+    return three_tier(SMALL)
+
+
+def job_one_rack(alpha=0.1):
+    # master host:3, workers host:0..2, all in rack 0.
+    return AggJob(
+        "j", "host:3",
+        (("host:0", 10 * MB), ("host:1", 10 * MB), ("host:2", 10 * MB)),
+        alpha=alpha,
+    )
+
+
+def job_two_racks(alpha=0.1):
+    # Workers split across racks 0 and 1 (same pod), master in rack 0.
+    return AggJob(
+        "j", "host:3",
+        (
+            ("host:0", 10 * MB), ("host:1", 10 * MB),
+            ("host:4", 10 * MB), ("host:5", 10 * MB),
+        ),
+        alpha=alpha,
+    )
+
+
+def plan(strategy, job, topo=None):
+    topo = topo or make_topo()
+    return topo, strategy.plan_job(job, topo, EcmpRouter())
+
+
+def by_id(specs):
+    return {s.flow_id: s for s in specs}
+
+
+def run(topo, specs):
+    sim = FlowSim(topo.network)
+    sim.add_flows(specs)
+    return sim.run()
+
+
+class TestNoAggregation:
+    def test_one_flow_per_worker_at_raw_size(self):
+        topo, specs = plan(NoAggregationStrategy(), job_one_rack())
+        assert len(specs) == 3
+        assert all(s.size == 10 * MB for s in specs)
+        assert all(s.kind == "worker" and s.aggregatable for s in specs)
+
+    def test_flows_run(self):
+        topo, specs = plan(NoAggregationStrategy(), job_two_racks())
+        result = run(topo, specs)
+        assert len(result.records) == 4
+
+    def test_master_as_worker_rejected(self):
+        job = AggJob("j", "host:0", (("host:0", 1.0),), alpha=0.5)
+        with pytest.raises(ValueError):
+            plan(NoAggregationStrategy(), job)
+
+
+class TestRackLevel:
+    def test_one_result_flow_per_rack(self):
+        topo, specs = plan(RackLevelStrategy(), job_two_racks())
+        results = [s for s in specs if s.kind == "result"]
+        workers = [s for s in specs if s.kind == "worker"]
+        assert len(results) == 2
+        assert len(workers) == 2  # one worker per rack feeds the aggregator
+
+    def test_aggregate_is_alpha_of_job_when_saturated(self):
+        job = job_one_rack(alpha=0.1)
+        topo, specs = plan(RackLevelStrategy(), job)
+        (result,) = [s for s in specs if s.kind == "result"]
+        # Rack covers the whole job: dictionary bound = alpha * total.
+        assert result.size == pytest.approx(0.1 * job.total_bytes)
+
+    def test_aggregate_unsaturated_when_alpha_large(self):
+        job = job_two_racks(alpha=0.9)
+        topo, specs = plan(RackLevelStrategy(), job)
+        for result in (s for s in specs if s.kind == "result"):
+            # Each rack holds 20 MB raw < alpha * 40 MB = 36 MB: no
+            # reduction possible beyond the received bytes.
+            assert result.size == pytest.approx(20 * MB)
+
+    def test_result_depends_on_workers(self):
+        topo, specs = plan(RackLevelStrategy(), job_one_rack())
+        flows = by_id(specs)
+        (result,) = [s for s in specs if s.kind == "result"]
+        assert set(result.children) == {
+            s.flow_id for s in specs if s.kind == "worker"
+        }
+
+    def test_worker_flows_stay_in_rack(self):
+        topo, specs = plan(RackLevelStrategy(), job_two_racks())
+        for spec in specs:
+            if spec.kind == "worker":
+                assert len(spec.path) == 2  # host->tor, tor->host
+
+    def test_end_to_end_completion_ordering(self):
+        topo, specs = plan(RackLevelStrategy(), job_one_rack())
+        result = run(topo, specs)
+        res_record = result.records["j:r0"]
+        for flow_id, record in result.records.items():
+            assert res_record.completion_time >= record.completion_time - 1e-9
+
+    def test_lone_worker_rack_sends_raw(self):
+        job = AggJob("j", "host:3", (("host:0", 10 * MB),), alpha=0.1)
+        topo, specs = plan(RackLevelStrategy(), job)
+        (result,) = specs
+        assert result.size == 10 * MB  # nothing to merge
+
+
+class TestDAryTree:
+    def test_chain_is_d1(self):
+        assert ChainStrategy().d == 1
+        assert BinaryTreeStrategy().d == 2
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            DAryTreeStrategy(d=0)
+
+    def test_every_worker_appears_once(self):
+        topo, specs = plan(BinaryTreeStrategy(), job_two_racks())
+        # 4 workers over 2 racks: each rack tree emits 1 internal flow,
+        # one cross-rack flow, one result flow.
+        senders = {s.flow_id for s in specs}
+        assert len(senders) == len(specs)
+        result = run(topo, specs)
+        assert len(result.records) == len(specs)
+
+    def test_chain_intra_rack_structure(self):
+        job = job_one_rack()
+        topo, specs = plan(ChainStrategy(), job)
+        # 3 workers in one rack: flows i2 -> i1 -> res.
+        ids = {s.flow_id for s in specs}
+        assert ids == {"j:i1", "j:i2", "j:res"}
+        flows = by_id(specs)
+        assert flows["j:i2"].children == ()
+        assert flows["j:i1"].children == ("j:i2",)
+        assert flows["j:res"].children == ("j:i1",)
+
+    def test_chain_accumulates_before_dictionary_binds(self):
+        job = job_one_rack(alpha=0.9)  # dictionary 27 MB
+        topo, specs = plan(ChainStrategy(), job)
+        flows = by_id(specs)
+        assert flows["j:i2"].size == pytest.approx(10 * MB)  # raw leaf
+        assert flows["j:i1"].size == pytest.approx(20 * MB)  # merged, < dict
+        assert flows["j:res"].size == pytest.approx(27 * MB)  # dict binds
+
+    def test_dictionary_bound_small_alpha(self):
+        job = job_one_rack(alpha=0.1)  # dictionary 3 MB
+        topo, specs = plan(ChainStrategy(), job)
+        flows = by_id(specs)
+        assert flows["j:i1"].size == pytest.approx(3 * MB)
+        assert flows["j:res"].size == pytest.approx(3 * MB)
+
+    def test_cross_rack_flows_exist_for_multi_rack_jobs(self):
+        topo, specs = plan(BinaryTreeStrategy(), job_two_racks())
+        cross = [s for s in specs if s.flow_id.startswith("j:x")]
+        assert len(cross) == 1
+
+    def test_result_reaches_master(self):
+        topo, specs = plan(BinaryTreeStrategy(), job_two_racks())
+        (res,) = [s for s in specs if s.kind == "result"]
+        assert res.path[-1].endswith("->host:3")
+
+    def test_deep_chain_completion_cascades(self):
+        job = job_one_rack()
+        topo, specs = plan(ChainStrategy(), job)
+        result = run(topo, specs)
+        res = result.records["j:res"]
+        leaf = result.records["j:i2"]
+        assert res.completion_time >= leaf.completion_time
+
+
+class TestTrafficOrdering:
+    """The paper's Fig. 9 ordering: chain > binary > rack link traffic."""
+
+    def make_workload(self):
+        # One rack of four workers, master in the next rack.  alpha=0.5
+        # keeps the dictionary bound loose enough that chain hops carry
+        # accumulating data (the mechanism behind the paper's Fig. 9).
+        job = AggJob(
+            "j", "host:4",
+            tuple((f"host:{i}", 5 * MB) for i in range(4)),
+            alpha=0.5,
+        )
+        return Workload(jobs=[job])
+
+    def total_traffic(self, strategy):
+        topo = make_topo()
+        specs = strategy.plan(self.make_workload(), topo)
+        result = run(topo, specs)
+        return sum(result.link_traffic().values())
+
+    def test_chain_carries_more_than_rack(self):
+        assert self.total_traffic(ChainStrategy()) > \
+            self.total_traffic(RackLevelStrategy())
+
+    def test_binary_between_rack_and_chain(self):
+        rack = self.total_traffic(RackLevelStrategy())
+        binary = self.total_traffic(BinaryTreeStrategy())
+        chain = self.total_traffic(ChainStrategy())
+        assert rack < binary < chain
+
+
+class TestBackgroundPlanning:
+    def test_background_flows_planned(self):
+        topo = make_topo()
+        workload = Workload(background=[
+            BackgroundFlow("bg:0", "host:0", "host:15", 1 * MB),
+        ])
+        specs = NoAggregationStrategy().plan(workload, topo)
+        assert len(specs) == 1
+        assert specs[0].kind == "background"
+        assert not specs[0].aggregatable

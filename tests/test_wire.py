@@ -1,0 +1,177 @@
+"""Tests for the binary wire format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wire import (
+    ChunkReassembler,
+    KeyValue,
+    SearchResult,
+    WireError,
+    decode_kv_stream,
+    decode_search_results,
+    encode_kv_stream,
+    encode_search_results,
+    frame,
+    unframe_all,
+)
+from repro.wire.serializer import (
+    read_bytes,
+    read_float,
+    read_signed,
+    read_string,
+    read_varint,
+    write_bytes,
+    write_float,
+    write_signed,
+    write_string,
+    write_varint,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**60])
+    def test_roundtrip(self, value):
+        encoded = write_varint(value)
+        decoded, offset = read_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_single_byte_for_small_values(self):
+        assert len(write_varint(127)) == 1
+        assert len(write_varint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(WireError):
+            write_varint(-1)
+
+    def test_truncated_raises(self):
+        encoded = write_varint(300)
+        with pytest.raises(WireError):
+            read_varint(encoded[:1])
+
+    def test_empty_raises(self):
+        with pytest.raises(WireError):
+            read_varint(b"")
+
+    @given(st.integers(0, 2**63 - 1))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, value):
+        decoded, _ = read_varint(write_varint(value))
+        assert decoded == value
+
+
+class TestSigned:
+    @given(st.integers(-(2**62), 2**62))
+    @settings(max_examples=200)
+    def test_roundtrip(self, value):
+        decoded, _ = read_signed(write_signed(value))
+        assert decoded == value
+
+    def test_zigzag_compactness(self):
+        # Small magnitudes (either sign) stay in one byte.
+        assert len(write_signed(-1)) == 1
+        assert len(write_signed(63)) == 1
+
+
+class TestScalars:
+    @given(st.text(max_size=200))
+    @settings(max_examples=100)
+    def test_string_roundtrip(self, text):
+        decoded, _ = read_string(write_string(text))
+        assert decoded == text
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=100)
+    def test_bytes_roundtrip(self, blob):
+        decoded, _ = read_bytes(write_bytes(blob))
+        assert decoded == blob
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100)
+    def test_float_roundtrip(self, value):
+        decoded, _ = read_float(write_float(value))
+        assert decoded == value
+
+    def test_truncated_string(self):
+        encoded = write_string("hello")
+        with pytest.raises(WireError):
+            read_string(encoded[:-1])
+
+    def test_invalid_utf8(self):
+        bad = write_bytes(b"\xff\xfe")
+        with pytest.raises(WireError):
+            read_string(bad)
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        frames = unframe_all(frame(b"abc") + frame(b"") + frame(b"xy"))
+        assert frames == [b"abc", b"", b"xy"]
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(WireError):
+            unframe_all(frame(b"abc") + b"\x05ab")
+
+    @given(st.lists(st.binary(max_size=100), max_size=10),
+           st.integers(1, 17))
+    @settings(max_examples=100)
+    def test_reassembly_any_chunking(self, payloads, chunk_size):
+        stream = b"".join(frame(p) for p in payloads)
+        reassembler = ChunkReassembler()
+        out = []
+        for i in range(0, len(stream), chunk_size):
+            out.extend(reassembler.feed(stream[i:i + chunk_size]))
+        assert out == payloads
+        reassembler.finish()  # must end on a boundary
+
+    def test_finish_mid_frame_raises(self):
+        reassembler = ChunkReassembler()
+        reassembler.feed(frame(b"abcdef")[:3])
+        with pytest.raises(WireError):
+            reassembler.finish()
+
+    def test_counters(self):
+        reassembler = ChunkReassembler()
+        data = frame(b"abc")
+        reassembler.feed(data[:2])
+        assert reassembler.frames_emitted == 0
+        assert reassembler.pending_bytes == 2
+        reassembler.feed(data[2:])
+        assert reassembler.frames_emitted == 1
+        assert reassembler.bytes_consumed == len(data)
+        assert reassembler.pending_bytes == 0
+
+
+class TestRecords:
+    def test_kv_roundtrip(self):
+        pairs = [KeyValue("alpha", 3), KeyValue("beta", 2**40)]
+        assert decode_kv_stream(encode_kv_stream(pairs)) == pairs
+
+    def test_kv_empty(self):
+        assert decode_kv_stream(encode_kv_stream([])) == []
+
+    def test_kv_trailing_bytes_rejected(self):
+        encoded = encode_kv_stream([KeyValue("a", 1)]) + b"\x00"
+        with pytest.raises(WireError):
+            decode_kv_stream(encoded)
+
+    def test_search_result_roundtrip(self):
+        results = [
+            SearchResult(1, 0.5, "snippet one"),
+            SearchResult(99, -2.25, ""),
+        ]
+        assert decode_search_results(encode_search_results(results)) == results
+
+    @given(st.lists(
+        st.tuples(st.text(max_size=20), st.integers(0, 2**40)),
+        max_size=30,
+    ))
+    @settings(max_examples=100)
+    def test_kv_roundtrip_property(self, rows):
+        pairs = [KeyValue(k, v) for k, v in rows]
+        assert decode_kv_stream(encode_kv_stream(pairs)) == pairs
+
+    def test_kv_ordering(self):
+        assert KeyValue("a", 1) < KeyValue("b", 0)
