@@ -22,11 +22,25 @@ This package rebuilds the whole system in Python:
   34-server testbed;
 - :mod:`repro.workload` -- synthetic DC workload generation;
 - :mod:`repro.cost` -- the deployment cost model of the feasibility study;
+- :mod:`repro.faults` -- deterministic fault schedules and the per-layer
+  injectors (simulator, platform, emulator) plus the shim retry policy;
 - :mod:`repro.experiments` -- one module per paper figure/table.
 """
 
 __version__ = "1.0.0"
 
+from repro.faults import (
+    EmulatorFaultInjector,
+    FaultEvent,
+    FaultSchedule,
+    PlatformFaultInjector,
+    RetryPolicy,
+    SimFaultInjector,
+)
 from repro.units import GB, KB, MB, Gbps, Mbps
 
-__all__ = ["Gbps", "Mbps", "KB", "MB", "GB", "__version__"]
+__all__ = [
+    "Gbps", "Mbps", "KB", "MB", "GB", "__version__",
+    "FaultSchedule", "FaultEvent", "RetryPolicy",
+    "SimFaultInjector", "PlatformFaultInjector", "EmulatorFaultInjector",
+]

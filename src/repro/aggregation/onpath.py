@@ -15,13 +15,14 @@ where ``R_tree`` is the raw intermediate data of this tree's key share.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.aggregation.base import (
     AggregationStrategy,
     lane_links,
     worker_start_time,
 )
+from repro.core.failure import rewire_failed_box
 from repro.core.tree import AggregationTree, TreeBuilder
 from repro.netsim.routing import EcmpRouter
 from repro.netsim.simulator import FlowSpec
@@ -39,14 +40,24 @@ class NetAggStrategy(AggregationStrategy):
     just aggregates available results, while the rest is sent directly
     to the reducer"), so one late worker does not hold the whole tree's
     aggregate hostage.
+
+    ``fault_view`` implements §3.1's failure handling at plan time: a
+    callable ``job -> iterable of failed box ids``; each named box is
+    rewired out of the job's trees (children adopted by its parent,
+    lanes joined) before flows are emitted, so jobs planned after a
+    crash route around the dead box.  Crashes landing *mid-job* are the
+    business of :class:`repro.faults.SimFaultInjector`'s reroute events.
     """
 
     def __init__(self, name: str = "netagg",
-                 straggler_bypass: float = 0.2) -> None:
+                 straggler_bypass: float = 0.2,
+                 fault_view: Optional[
+                     Callable[[AggJob], Iterable[str]]] = None) -> None:
         if straggler_bypass <= 0:
             raise ValueError("straggler_bypass must be positive")
         self.name = name
         self.straggler_bypass = straggler_bypass
+        self.fault_view = fault_view
 
     def plan_job(self, job: AggJob, topo: Topology,
                  router: EcmpRouter) -> List[FlowSpec]:
@@ -54,6 +65,13 @@ class NetAggStrategy(AggregationStrategy):
         trees = builder.build_many(
             job.job_id, job.master, [h for h, _ in job.workers], job.n_trees
         )
+        if self.fault_view is not None:
+            failed = sorted(set(self.fault_view(job)))
+            for i, tree in enumerate(trees):
+                for box_id in failed:
+                    if box_id in tree.boxes:
+                        tree = rewire_failed_box(tree, box_id)
+                trees[i] = tree
         specs: List[FlowSpec] = []
         for tree in trees:
             specs.extend(self._tree_flows(job, tree, topo, builder))

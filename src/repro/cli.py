@@ -57,6 +57,7 @@ EXPERIMENTS = [
     "ablation_colocation",
     "ablation_fattree",
     "ablation_arrivals",
+    "fig_failures",
 ]
 
 SCALES = {
@@ -71,7 +72,7 @@ _SCALED = {name for name in EXPERIMENTS
            if name.startswith(("fig0", "fig1")) and not name.startswith(
                ("fig15", "fig16", "fig17", "fig18", "fig19"))} | {
     "ablation_trees", "ablation_placement", "ablation_routing",
-    "ablation_arrivals",
+    "ablation_arrivals", "fig_failures",
 }
 
 

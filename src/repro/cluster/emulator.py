@@ -12,13 +12,23 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Sequence, Tuple
+from typing import Callable, Deque, Dict, Sequence, Tuple
 
 from repro.netsim.engine import EventQueue
 
 
 class Resource:
-    """A FIFO multi-server rate resource."""
+    """A FIFO multi-server rate resource.
+
+    Resources can *fail* mid-run: :meth:`fail` parks everything in
+    service back at the head of the queue (the work restarts from
+    scratch on :meth:`recover` -- replay, not resume, matching a crashed
+    agg box that lost its in-memory partials) and stops dispatching;
+    :meth:`degrade` slows the service rate for future dispatches until
+    recovery.  Time already burnt on parked work stays in ``busy_time``
+    (it was real occupancy) and the replay is charged again in full, so
+    utilisation reflects wasted work.
+    """
 
     def __init__(self, queue: EventQueue, name: str, rate: float,
                  servers: int = 1) -> None:
@@ -29,11 +39,17 @@ class Resource:
         self._queue = queue
         self.name = name
         self.rate = rate
+        self._base_rate = rate
         self.servers = servers
         self._free = servers
         self._waiting: Deque[Tuple[float, Callable[[], None]]] = deque()
+        #: token -> (amount, done, started_at, service) for parking on fail.
+        self._in_service: Dict[int, Tuple[float, Callable[[], None],
+                                          float, float]] = {}
+        self._down = False
         self.busy_time = 0.0
         self.completed = 0
+        self.failures = 0
 
     def request(self, amount: float, done: Callable[[], None]) -> None:
         """Enqueue ``amount`` units of work; ``done`` fires on completion."""
@@ -46,6 +62,46 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._waiting)
 
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def fail(self) -> None:
+        """Take the resource down, parking in-service work for replay.
+
+        Idempotent while down.  Each in-service item's scheduled
+        completion is cancelled and the item returns to the *front* of
+        the queue in its original dispatch order; its not-yet-served
+        time is refunded from ``busy_time`` (the elapsed part stays --
+        those server-seconds really were spent before the crash).
+        """
+        if self._down:
+            return
+        self._down = True
+        self.failures += 1
+        now = self._queue.now
+        parked = sorted(self._in_service.items())
+        for token, (_amount, _done, started, service) in parked:
+            self._queue.cancel(token)
+            self.busy_time -= service - (now - started)
+        for _token, (amount, done, _started, _service) in reversed(parked):
+            self._waiting.appendleft((amount, done))
+        self._in_service.clear()
+        self._free = self.servers
+
+    def recover(self) -> None:
+        """Bring the resource back at full rate and replay parked work."""
+        self._down = False
+        self.rate = self._base_rate
+        self._pump()
+
+    def degrade(self, factor: float) -> None:
+        """Divide the service rate by ``factor`` (from the built rate,
+        not compounding) for future dispatches, until :meth:`recover`."""
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self.rate = self._base_rate / factor
+
     def utilisation(self, elapsed: float) -> float:
         """Average busy fraction over ``elapsed`` seconds."""
         if elapsed <= 0:
@@ -53,19 +109,23 @@ class Resource:
         return self.busy_time / (elapsed * self.servers)
 
     def _pump(self) -> None:
-        while self._free > 0 and self._waiting:
+        while not self._down and self._free > 0 and self._waiting:
             amount, done = self._waiting.popleft()
             self._free -= 1
             service = amount / self.rate
             self.busy_time += service
+            token_cell: list = []
 
-            def finish(cb=done):
+            def finish(cb=done, cell=token_cell):
                 self._free += 1
                 self.completed += 1
+                self._in_service.pop(cell[0], None)
                 cb()
                 self._pump()
 
-            self._queue.schedule(service, finish)
+            token = self._queue.schedule(service, finish)
+            token_cell.append(token)
+            self._in_service[token] = (amount, done, self._queue.now, service)
 
 
 @dataclass

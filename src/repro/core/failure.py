@@ -92,12 +92,27 @@ class FailureDetector:
         self._last_seen.setdefault(box_id, now)
 
     def heartbeat(self, box_id: str, now: float) -> None:
+        """Record a heartbeat from ``box_id`` at local time ``now``.
+
+        Heartbeats are *clamped* against clock regressions: a heartbeat
+        stamped earlier than the last one seen (a skewed or rewound
+        sender clock) keeps the newer timestamp instead of silently
+        rewinding the box towards a spurious timeout.  Legitimate skew
+        (see ``clock-skew`` fault events) thus delays detection of a
+        *silent* box but never fails a *live* one.
+        """
         if box_id not in self._last_seen:
             raise KeyError(f"not watching box {box_id!r}")
-        self._last_seen[box_id] = now
+        self._last_seen[box_id] = max(self._last_seen[box_id], now)
 
     def missing(self, now: float) -> List[str]:
-        """Boxes whose heartbeat is overdue at time ``now``."""
+        """Boxes whose heartbeat is overdue at time ``now``.
+
+        The boundary is strict: a box is missing only when *more* than
+        ``timeout`` seconds have passed since its last heartbeat, so a
+        heartbeat landing exactly on the deadline still counts as alive
+        (``now - seen > timeout``, not ``>=``).
+        """
         return sorted(
             box_id for box_id, seen in self._last_seen.items()
             if now - seen > self.timeout

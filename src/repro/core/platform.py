@@ -14,18 +14,30 @@ Execution model:
   delivered to boxes in bounded chunks, so streaming deserialisation is
   exercised on every request;
 - failed boxes are rewired out of the trees per §3.1 before execution.
+
+Fault-aware execution: constructed with a
+:class:`repro.faults.PlatformFaultInjector` (and optionally a
+:class:`repro.faults.RetryPolicy`), the platform advances a
+deterministic virtual clock and probes each box at connect time.  A box
+that is down burns ``timeout`` per attempt plus jittered backoff; a box
+that exhausts its attempts is rewired out of the request's trees
+*before* expected counts are announced, so partial-result accounting
+stays consistent.  Worker shims then walk the degradation ladder (entry
+box -> next on-path ancestor -> direct to master) and every retry,
+fallback, bypass, degradation and churn wait is recorded as a
+:class:`repro.core.shim.ShimEvent` on the outcome.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.aggbox.box import AggBoxRuntime, AppBinding
 from repro.aggbox.functions import AggregationFunction
 from repro.core.failure import rewire_failed_box
-from repro.core.shim import MasterShim, WorkerShim
+from repro.core.shim import MasterShim, ShimEvent, WorkerShim
 from repro.core.tree import AggregationTree, TreeBuilder
 from repro.netsim.routing import stable_hash
 from repro.topology.base import Topology
@@ -51,12 +63,28 @@ class RequestOutcome:
     trees_used: List[int]
     #: Bytes of framed partial-result data entering boxes.
     bytes_into_boxes: float
+    #: Retries, fallbacks, bypasses, degradations and churn waits the
+    #: shims performed while executing this request (empty when the
+    #: platform has no fault injector).
+    shim_events: List[ShimEvent] = field(default_factory=list)
+
+    def events_of_kind(self, kind: str) -> List[ShimEvent]:
+        return [e for e in self.shim_events if e.kind == kind]
 
 
 class NetAggPlatform:
-    """Deployment of NetAgg over a topology with attached agg boxes."""
+    """Deployment of NetAgg over a topology with attached agg boxes.
 
-    def __init__(self, topo: Topology) -> None:
+    ``faults`` is a connect-time fault oracle (duck-typed after
+    :class:`repro.faults.PlatformFaultInjector`: ``box_down``,
+    ``degradation``, ``churn_until``); ``retry`` the shim retry policy
+    (defaults to :class:`repro.faults.RetryPolicy` when ``faults`` is
+    given).  Without an oracle every connect succeeds immediately and
+    execution is identical to the fault-free platform.
+    """
+
+    def __init__(self, topo: Topology, faults: Optional[Any] = None,
+                 retry: Optional[Any] = None) -> None:
         self._topo = topo
         self._builder = TreeBuilder(topo)
         self._boxes: Dict[str, AggBoxRuntime] = {
@@ -67,6 +95,12 @@ class NetAggPlatform:
         self._mergers: Dict[str, Callable[[Sequence[Any]], Any]] = {}
         self._failed: Set[str] = set()
         self._master_shims: Dict[str, MasterShim] = {}
+        self._faults = faults
+        if retry is None and faults is not None:
+            from repro.faults.retry import RetryPolicy
+            retry = RetryPolicy()
+        self._retry = retry
+        self._clock = 0.0
 
     # -- deployment ------------------------------------------------------------
 
@@ -99,6 +133,19 @@ class NetAggPlatform:
 
     def apps(self) -> List[str]:
         return sorted(self._functions)
+
+    @property
+    def clock(self) -> float:
+        """The platform's virtual clock (advanced by sends/retries)."""
+        return self._clock
+
+    def advance_clock(self, t: float) -> None:
+        """Move the virtual clock forward to ``t`` (never backwards).
+
+        Lets callers start a request inside a chosen fault window of the
+        schedule (the clock otherwise only crawls by send latencies).
+        """
+        self._clock = max(self._clock, t)
 
     def fail_box(self, box_id: str) -> None:
         """Mark a box failed; future trees route around it (§3.1)."""
@@ -189,6 +236,7 @@ class NetAggPlatform:
             boxes_used=boxes_used,
             trees_used=[t.tree_index for t in trees],
             bytes_into_boxes=sum(o.bytes_into_boxes for o in outcomes),
+            shim_events=[e for o in outcomes for e in o.shim_events],
         )
 
     # -- internals -----------------------------------------------------------
@@ -196,6 +244,81 @@ class NetAggPlatform:
     def _check_app(self, app: str) -> None:
         if app not in self._functions:
             raise KeyError(f"app {app!r} is not registered")
+
+    def _probe_box(self, box_id: str, request_key: str,
+                   events: List[ShimEvent]) -> bool:
+        """Connect-time probe with retries, burning virtual clock.
+
+        Each failed attempt costs ``timeout`` plus a jittered backoff;
+        because the clock advances between attempts, a box that recovers
+        during a backoff window is genuinely saved by the retry.
+        """
+        policy = self._retry
+        for attempt in range(1, policy.max_attempts + 1):
+            if not self._faults.box_down(box_id, self._clock):
+                self._clock += policy.send_latency
+                return True
+            self._clock += policy.timeout
+            events.append(ShimEvent(
+                at=self._clock, kind="retry", source=request_key,
+                target=box_id, attempt=attempt,
+            ))
+            if attempt < policy.max_attempts:
+                self._clock += policy.backoff(
+                    attempt, key=f"{request_key}->{box_id}")
+        return False
+
+    def _resolve_tree(self, tree: AggregationTree, request_key: str,
+                      probes: Dict[str, bool],
+                      events: List[ShimEvent]) -> AggregationTree:
+        """Probe every box and rewire the unreachable ones out (§3.1).
+
+        Runs *before* expected counts are announced, so boxes never wait
+        for partials that degraded elsewhere.  Probe verdicts are cached
+        in ``probes`` for the shims' ladder walks.
+        """
+        if self._faults is None:
+            return tree
+        effective = tree
+        for box_id in sorted(tree.boxes):
+            reachable = probes.get(box_id)
+            if reachable is None:
+                reachable = self._probe_box(box_id, request_key, events)
+                probes[box_id] = reachable
+            if not reachable and box_id in effective.boxes:
+                effective = rewire_failed_box(effective, box_id)
+                events.append(ShimEvent(
+                    at=self._clock, kind="unreachable", source=request_key,
+                    target=box_id, attempt=self._retry.max_attempts,
+                ))
+        return effective
+
+    def _note_degradation(self, box_id: str, source: str,
+                          events: List[ShimEvent]) -> None:
+        """Charge a delivery's clock cost, inflated if the box is slow."""
+        if self._faults is None:
+            return
+        factor = self._faults.degradation(box_id, self._clock)
+        self._clock += self._retry.send_latency * factor
+        if factor > 1.0:
+            events.append(ShimEvent(
+                at=self._clock, kind="degraded", source=source,
+                target=box_id, detail=f"x{factor:g}",
+            ))
+
+    def _wait_out_churn(self, worker_index: int,
+                        events: List[ShimEvent]) -> None:
+        """A churning worker holds its emission until the window ends."""
+        if self._faults is None:
+            return
+        until = self._faults.churn_until(worker_index, self._clock)
+        if until is not None and until > self._clock:
+            events.append(ShimEvent(
+                at=self._clock, kind="churn",
+                source=f"worker:{worker_index}",
+                target=f"worker:{worker_index}", detail=f"until {until:g}",
+            ))
+            self._clock = until
 
     def _run_on_trees(
         self,
@@ -206,34 +329,48 @@ class NetAggPlatform:
         trees: Sequence[AggregationTree],
     ) -> RequestOutcome:
         shim = self._master_shims.setdefault(master, MasterShim(master))
-        shim.intercept_request(request_id, trees)
+        events: List[ShimEvent] = []
+        probes: Dict[str, bool] = {}
+        # Resolve the effective trees first: unreachable boxes rewired
+        # out before announcement keeps every expected count honest.
+        pairs = [
+            (tree, self._resolve_tree(tree, request_id, probes, events))
+            for tree in trees
+        ]
+        shim.intercept_request(request_id, [eff for _, eff in pairs])
         boxes_used: List[str] = []
         bytes_in = 0.0
         rng = random.Random(stable_hash(request_id) & 0xFFFF)
 
-        for tree in trees:
+        for original, tree in pairs:
+            tree_request = self._tree_request(request_id, tree)
             # Announce expected input counts to each participating box.
             for box_id, vertex in tree.boxes.items():
                 expected = len(vertex.direct_workers) + len(vertex.children)
-                self._boxes[box_id].announce(app, self._tree_request(
-                    request_id, tree), expected)
+                self._boxes[box_id].announce(app, tree_request, expected)
 
-            # Workers emit; shims redirect into the entry boxes.
+            # Workers emit; shims walk the ladder into the entry boxes.
+            # The shim sees the *original* tree (it skips dead boxes up
+            # the ancestor chain itself), which lands exactly on the
+            # effective tree's entry, so the announced counts match.
+            transport = _RequestTransport(
+                self, app, request_id, tree_request, shim, events, probes,
+                rng,
+            )
             ready: Dict[str, Any] = {}
             for index, (host, value) in enumerate(worker_partials):
-                entry = tree.worker_entry[index]
-                if entry is None:
-                    shim.deliver_direct(request_id, index, value)
-                    continue
-                emitted, nbytes = self._feed_box(
-                    app, self._tree_request(request_id, tree), entry,
-                    f"worker:{index}", value, rng,
-                )
+                self._wait_out_churn(index, events)
+                wshim = WorkerShim(host, index, [original])
+                landed, emitted, nbytes = wshim.send(value, transport)
                 bytes_in += nbytes
                 if emitted is not None:
-                    ready[entry] = emitted
+                    ready[landed] = emitted
 
-            # Propagate aggregates up the tree until the roots emit.
+            # Propagate aggregates up the tree until the roots emit.  A
+            # rewired tree can have several roots (a crashed root's
+            # children); their outputs merge into the tree's single
+            # aggregate before delivery.
+            root_values: List[Any] = []
             progress = True
             while progress:
                 progress = False
@@ -242,18 +379,24 @@ class NetAggPlatform:
                     boxes_used.append(box_id)
                     vertex = tree.boxes[box_id]
                     if vertex.parent is None:
-                        shim.deliver_aggregate(request_id, tree.tree_index,
-                                               emitted.value)
+                        root_values.append(emitted.value)
                     else:
                         parent_emitted, nbytes = self._feed_box(
-                            app, self._tree_request(request_id, tree),
+                            app, tree_request,
                             vertex.parent, f"box:{box_id}", emitted.value,
                             rng,
                         )
+                        self._note_degradation(vertex.parent,
+                                               f"box:{box_id}", events)
                         bytes_in += nbytes
                         if parent_emitted is not None:
                             ready[vertex.parent] = parent_emitted
                     progress = True
+
+            if root_values:
+                value = (root_values[0] if len(root_values) == 1
+                         else self._mergers[app](root_values))
+                shim.deliver_aggregate(request_id, tree.tree_index, value)
 
             if not tree.boxes and tree.direct_workers():
                 # Degenerate tree: no boxes anywhere, all direct.
@@ -274,6 +417,7 @@ class NetAggPlatform:
             boxes_used=boxes_used,
             trees_used=[t.tree_index for t in trees],
             bytes_into_boxes=bytes_in,
+            shim_events=events,
         )
 
     @staticmethod
@@ -296,3 +440,58 @@ class NetAggPlatform:
             if result is not None:
                 emitted = result
         return emitted, float(len(payload))
+
+
+class _RequestTransport:
+    """Connection semantics handed to :meth:`WorkerShim.send`.
+
+    ``connect`` replays the platform's probe verdicts (probing -- and
+    burning retry clock -- on first contact with a box); deliveries
+    route into the platform's box runtimes / master shim and charge any
+    degradation cost.
+    """
+
+    def __init__(self, platform: NetAggPlatform, app: str, request_id: str,
+                 tree_request: str, master_shim: MasterShim,
+                 events: List[ShimEvent], probes: Dict[str, bool],
+                 rng: random.Random) -> None:
+        self._platform = platform
+        self._app = app
+        self._request_id = request_id
+        self._tree_request = tree_request
+        self._master_shim = master_shim
+        self._events = events
+        self._probes = probes
+        self._rng = rng
+
+    def connect(self, source: str, box_id: str) -> bool:
+        platform = self._platform
+        if platform._faults is None:
+            return True
+        reachable = self._probes.get(box_id)
+        if reachable is None:
+            reachable = platform._probe_box(
+                box_id, f"{self._request_id}/{source}", self._events)
+            self._probes[box_id] = reachable
+        return reachable
+
+    def record(self, kind: str, source: str, target: str,
+               detail: str = "") -> None:
+        self._events.append(ShimEvent(
+            at=self._platform._clock, kind=kind, source=source,
+            target=target, detail=detail,
+        ))
+
+    def deliver_box(self, box_id: str, worker_index: int, value: Any):
+        emitted, nbytes = self._platform._feed_box(
+            self._app, self._tree_request, box_id,
+            f"worker:{worker_index}", value, self._rng,
+        )
+        self._platform._note_degradation(
+            box_id, f"worker:{worker_index}", self._events)
+        return box_id, emitted, nbytes
+
+    def deliver_master(self, worker_index: int, value: Any):
+        self._master_shim.deliver_direct(self._request_id, worker_index,
+                                         value)
+        return None, None, 0.0

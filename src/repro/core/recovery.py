@@ -168,12 +168,14 @@ class InFlightRequest:
                 self._propagate(parent, emitted.value)
 
         # Replay exactly the lost partials from retained send buffers.
+        # Membership, not truthiness: None is a legitimate partial value
+        # (e.g. a worker with no matching results) and must replay too.
         for source in lost:
-            value = self._sent_values.get(source)
-            if value is None:
+            if source not in self._sent_values:
                 raise RuntimeError(
                     f"no retained value for lost partial {source!r}"
                 )
+            value = self._sent_values[source]
             log.replayed_sources.append(source)
             replay_tag = f"{source}~replay{len(self.logs)}"
             # A replay can itself be lost if its new target dies too;

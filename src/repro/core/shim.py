@@ -32,6 +32,30 @@ class Redirect:
     box_id: Optional[str]
 
 
+@dataclass(frozen=True)
+class ShimEvent:
+    """One observable action of the shim fault-handling machinery.
+
+    Kinds:
+        ``retry``       a connect attempt to ``target`` timed out;
+        ``unreachable`` a box exhausted its attempts and was rewired out;
+        ``fallback``    a sender skipped dead boxes and landed on the
+                        next reachable on-path box ``target``;
+        ``bypass``      a sender ran out of on-path boxes and went
+                        direct to the master;
+        ``degraded``    a delivery into ``target`` was slowed by a
+                        capacity degradation;
+        ``churn``       a worker was churning and its emission waited.
+    """
+
+    at: float
+    kind: str
+    source: str
+    target: str
+    attempt: int = 0
+    detail: str = ""
+
+
 class WorkerShim:
     """Socket-level interception on a worker host."""
 
@@ -66,6 +90,38 @@ class WorkerShim:
         for key, item in items:
             parts[stable_hash(key) % len(self._trees)].append(item)
         return parts
+
+    def send(self, value: Any, transport: Any,
+             partition_key: str = "") -> Tuple[Optional[str], Any, float]:
+        """Send one partial result, degrading down the ladder (§3.1).
+
+        ``transport`` carries the platform's connection semantics:
+        ``connect(source, box_id) -> bool`` (burns retry/backoff clock on
+        the first probe of a box), ``deliver_box(box_id, worker_index,
+        value)``, ``deliver_master(worker_index, value)`` and
+        ``record(kind, source, target)`` for ladder events.
+
+        The ladder: try the entry box (with the transport's retries);
+        unreachable boxes are skipped up the ancestor chain to the next
+        on-path box (*fallback*); when no box remains, the partial goes
+        direct to the master (*bypass*).  Returns whatever the transport
+        delivery returned: ``(landing_box_or_None, emitted, bytes)``.
+        """
+        redirect = self.redirect_for(partition_key)
+        tree = self._trees[redirect.tree_index]
+        source = f"worker:{self.worker_index}"
+        target = redirect.box_id
+        fell_back = False
+        while target is not None:
+            if transport.connect(source, target):
+                if fell_back:
+                    transport.record("fallback", source, target)
+                return transport.deliver_box(target, self.worker_index, value)
+            fell_back = True
+            target = tree.boxes[target].parent
+        if fell_back:
+            transport.record("bypass", source, "master")
+        return transport.deliver_master(self.worker_index, value)
 
 
 @dataclass

@@ -1,0 +1,58 @@
+"""Deterministic fault injection across all three execution layers.
+
+NetAgg's robustness story (§3.1, "Handling failures") is that the
+platform survives agg-box failures mid-request with duplicate
+suppression and degrades gracefully when boxes are unavailable.  This
+package turns that story into a reusable chaos harness:
+
+- :mod:`repro.faults.schedule` -- a seedable :class:`FaultSchedule` of
+  timestamped fault events (box crash/recover, capacity degradation,
+  link down/flap, worker churn, clock-skewed heartbeats);
+- :mod:`repro.faults.retry` -- the shim-side :class:`RetryPolicy`:
+  connect timeout, bounded exponential backoff with deterministic
+  jitter;
+- :mod:`repro.faults.inject` -- one injector per execution layer:
+  :class:`SimFaultInjector` (flow-level simulator),
+  :class:`PlatformFaultInjector` (functional platform),
+  :class:`EmulatorFaultInjector` (testbed emulator).
+
+The same schedule can be replayed against every layer, so FCT under
+failure, exactness of aggregates under failure, and emulated testbed
+behaviour under failure are all driven by one seed.
+"""
+
+from repro.faults.inject import (
+    EmulatorFaultInjector,
+    PlatformFaultInjector,
+    SimFaultInjector,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    BOX_CRASH,
+    BOX_DEGRADE,
+    BOX_RECOVER,
+    CLOCK_SKEW,
+    FAULT_KINDS,
+    LINK_DOWN,
+    LINK_UP,
+    WORKER_CHURN,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryPolicy",
+    "SimFaultInjector",
+    "PlatformFaultInjector",
+    "EmulatorFaultInjector",
+    "BOX_CRASH",
+    "BOX_RECOVER",
+    "BOX_DEGRADE",
+    "LINK_DOWN",
+    "LINK_UP",
+    "WORKER_CHURN",
+    "CLOCK_SKEW",
+    "FAULT_KINDS",
+]

@@ -1,0 +1,303 @@
+"""Per-layer fault injectors: one schedule, three execution substrates.
+
+All three injectors consume the same :class:`repro.faults.FaultSchedule`
+so a single seed drives a coherent chaos run across the repository's
+execution layers:
+
+- :class:`SimFaultInjector` maps events onto the flow-level simulator:
+  box crashes/degradations and link faults become scheduled capacity
+  changes, and segment flows caught in flight by a *permanent* box crash
+  are re-admitted along the §3.1-rewired tree via reroute events;
+- :class:`PlatformFaultInjector` answers the functional platform's
+  connect-time questions (is this box down at my clock?  how degraded?
+  is this worker churning?), driving the shim retry/backoff ladder;
+- :class:`EmulatorFaultInjector` arms fail/recover callbacks on the
+  testbed emulator's queueing resources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.failure import rewire_failed_box
+from repro.core.tree import AggregationTree, TreeBuilder
+from repro.faults.schedule import (
+    BOX_CRASH,
+    BOX_DEGRADE,
+    BOX_RECOVER,
+    LINK_DOWN,
+    LINK_UP,
+    FaultSchedule,
+)
+from repro.topology.base import Topology, link_id as make_link_id
+
+
+def _lane_links(nodes: Sequence[str]) -> Tuple[str, ...]:
+    return tuple(make_link_id(a, b) for a, b in zip(nodes, nodes[1:]))
+
+
+class SimFaultInjector:
+    """Maps a fault schedule onto :class:`repro.netsim.FlowSim` runs.
+
+    Usage::
+
+        injector = SimFaultInjector(topo, schedule)
+        strategy = NetAggStrategy(fault_view=injector.fault_view)
+        sim = FlowSim(topo.network)
+        sim.add_flows(strategy.plan(workload, topo))
+        injector.apply(sim, workload)
+
+    ``fault_view`` lets the strategy plan jobs that *start after* a crash
+    on the rewired tree (§3.1: future trees route around known-failed
+    boxes); :meth:`apply` handles everything else -- capacity events for
+    every fault window, and reroute events that re-admit the segment
+    flows of jobs already in flight when a permanent crash lands.
+    """
+
+    def __init__(self, topo: Topology, schedule: FaultSchedule) -> None:
+        self._topo = topo
+        self._schedule = schedule
+        self._known_boxes = {info.box_id for info in topo.all_boxes()}
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    def fault_view(self, job) -> Set[str]:
+        """Boxes known-failed when ``job`` starts (plan-time knowledge)."""
+        return self._schedule.crashed_at(job.start_time) & self._known_boxes
+
+    def capacity_events(self, network) -> List[Tuple[float, str, float]]:
+        """(when, link_id, capacity) tuples realising the schedule.
+
+        Box crashes zero the box's attachment and processing links;
+        recovery restores their built capacities (and clears any
+        degradation); ``box-degrade`` divides the processing link's
+        capacity by the event severity; link faults hit the named wire
+        link.  Events whose target does not exist in ``network`` (e.g.
+        box faults replayed against a boxless baseline topology) are
+        skipped, so the same schedule applies to every strategy.
+        """
+        base = network.capacities()
+        out: List[Tuple[float, str, float]] = []
+        for event in self._schedule:
+            if event.kind in (BOX_CRASH, BOX_RECOVER, BOX_DEGRADE):
+                if event.target not in self._known_boxes:
+                    continue
+                info = self._topo.box(event.target)
+                box_links = (info.downlink, info.uplink, info.proc_link)
+                if event.kind == BOX_CRASH:
+                    changes = [(l, 0.0) for l in box_links if l in base]
+                elif event.kind == BOX_RECOVER:
+                    changes = [(l, base[l]) for l in box_links if l in base]
+                else:
+                    changes = [
+                        (info.proc_link, base[info.proc_link] / event.severity)
+                    ] if info.proc_link in base else []
+            elif event.kind == LINK_DOWN and event.target in base:
+                changes = [(event.target, 0.0)]
+            elif event.kind == LINK_UP and event.target in base:
+                changes = [(event.target, base[event.target])]
+            else:
+                continue
+            for changed_link, capacity in changes:
+                out.append((event.time, changed_link, capacity))
+        return out
+
+    def apply(self, sim, workload=None) -> int:
+        """Install the schedule on a simulator; returns events added.
+
+        ``workload`` enables §3.1 reroutes for permanently-crashed boxes
+        (flows are matched by the NetAgg strategy's segment naming, so a
+        boxless plan is silently unaffected).
+        """
+        count = 0
+        for when, changed_link, capacity in self.capacity_events(sim.network):
+            sim.add_capacity_event(when, changed_link, capacity)
+            count += 1
+        if workload is not None:
+            path_now = {fid: sim.spec(fid).path for fid in sim.flow_ids()}
+            for when, flow_id, path in self.reroute_events(workload, path_now):
+                sim.add_reroute_event(when, flow_id, path)
+                count += 1
+        return count
+
+    def reroute_events(
+        self,
+        workload,
+        path_now: Dict[str, Tuple[str, ...]],
+    ) -> List[Tuple[float, str, Tuple[str, ...]]]:
+        """§3.1 re-admissions for flows in flight at a permanent crash.
+
+        For each permanently-crashed box and each job planned before the
+        crash, the job's trees are rebuilt deterministically (the same
+        construction the strategy used), the box is rewired out, and the
+        affected segment flows -- workers entering the box, the box's own
+        output segment, and child-box segments feeding it -- continue on
+        the joined lane into the adopting parent (or the master).  Only
+        flows whose *current* path actually touches the dead box are
+        rerouted (straggler-bypassed workers already go direct), and
+        ``path_now`` is updated in place so cascading crashes compose.
+        """
+        permanent = self._schedule.permanent_crashes()
+        if not permanent:
+            return []
+        crashes = sorted((tc, box) for box, tc in permanent.items())
+        builder = TreeBuilder(self._topo)
+        out: List[Tuple[float, str, Tuple[str, ...]]] = []
+        for job in workload.jobs:
+            later = [(tc, box) for tc, box in crashes if tc > job.start_time]
+            if not later:
+                continue
+            hosts = [h for h, _ in job.workers]
+            trees = builder.build_many(job.job_id, job.master, hosts,
+                                       job.n_trees)
+            # Reproduce the plan-time view: boxes already down at job
+            # start were rewired out before any flow existed.
+            for i, tree in enumerate(trees):
+                for box_id in sorted(self.fault_view(job)):
+                    if box_id in tree.boxes:
+                        tree = rewire_failed_box(tree, box_id)
+                trees[i] = tree
+            for crash_time, box in later:
+                for i, tree in enumerate(trees):
+                    if box not in tree.boxes:
+                        continue
+                    reroutes = self._tree_reroutes(job, tree, box,
+                                                   crash_time, path_now)
+                    for when, flow_id, path in reroutes:
+                        path_now[flow_id] = path
+                        out.append((when, flow_id, path))
+                    trees[i] = rewire_failed_box(tree, box)
+        return out
+
+    def _tree_reroutes(
+        self,
+        job,
+        tree: AggregationTree,
+        box: str,
+        crash_time: float,
+        path_now: Dict[str, Tuple[str, ...]],
+    ) -> List[Tuple[float, str, Tuple[str, ...]]]:
+        vertex = tree.boxes[box]
+        rewired = rewire_failed_box(tree, box)
+        prefix = f"{job.job_id}:t{tree.tree_index}"
+        info = vertex.info
+        dead_links = {info.downlink, info.uplink, info.proc_link}
+        master_edge = make_link_id(tree.master_tor, job.master)
+
+        def touched(flow_id: str) -> bool:
+            path = path_now.get(flow_id)
+            return path is not None and any(l in dead_links for l in path)
+
+        def into(tree_after: AggregationTree,
+                 parent: Optional[str]) -> Tuple[str, ...]:
+            """Final hops into the adopting parent box (or the master)."""
+            if parent is None:
+                return (master_edge,)
+            pinfo = tree_after.boxes[parent].info
+            return (pinfo.downlink, pinfo.proc_link)
+
+        out: List[Tuple[float, str, Tuple[str, ...]]] = []
+
+        # Workers that entered the dead box redirect up the joined lane.
+        for w in vertex.direct_workers:
+            flow_id = f"{prefix}:w{w}"
+            if not touched(flow_id):
+                continue
+            host = job.workers[w][0]
+            lane = rewired.worker_lane[w]
+            path = _lane_links((host,) + lane) \
+                + into(rewired, rewired.worker_entry[w])
+            out.append((crash_time, flow_id, path))
+
+        # The dead box's output segment: its bytes bypass the box and
+        # follow the lane to the adopting parent (fluid stand-in for the
+        # children's replayed partials reaching the §3.1 detector node).
+        flow_id = f"{prefix}:b:{box}"
+        if touched(flow_id):
+            path = _lane_links(vertex.lane_to_parent) \
+                + into(tree, vertex.parent)
+            out.append((crash_time, flow_id, path))
+
+        # Child boxes that fed the dead box now feed its parent.
+        for child in vertex.children:
+            flow_id = f"{prefix}:b:{child}"
+            if not touched(flow_id):
+                continue
+            cvert = rewired.boxes[child]
+            path = (cvert.info.uplink,) \
+                + _lane_links(cvert.lane_to_parent) \
+                + into(rewired, cvert.parent)
+            out.append((crash_time, flow_id, path))
+        return out
+
+
+class PlatformFaultInjector:
+    """Connect-time fault oracle for :class:`repro.core.NetAggPlatform`.
+
+    The platform advances a deterministic virtual clock as shims send,
+    retry and back off; every question here is a pure function of the
+    schedule and that clock, so request outcomes are reproducible.
+    Faults are evaluated when a shim *connects* -- mid-stream box death
+    is the domain of :class:`repro.core.recovery.InFlightRequest`.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self._schedule = schedule
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    def box_down(self, box_id: str, t: float) -> bool:
+        """Is the box crashed (and not yet recovered) at clock ``t``?"""
+        return box_id in self._schedule.crashed_at(t)
+
+    def degradation(self, box_id: str, t: float) -> float:
+        """Processing slow-down factor of the box at ``t`` (1.0 = none)."""
+        return self._schedule.degradation_at(box_id, t)
+
+    def churn_until(self, worker_index: int, t: float) -> Optional[float]:
+        """End of a churn window covering worker ``worker_index`` at ``t``."""
+        return self._schedule.churn_until(f"worker:{worker_index}", t)
+
+    def clock_skew(self, box_id: str, t: float) -> float:
+        """Seconds the box's heartbeat clock lags at ``t``."""
+        return self._schedule.clock_skew_at(box_id, t)
+
+
+class EmulatorFaultInjector:
+    """Arms fail/recover events on testbed-emulator resources.
+
+    Targets are matched by resource *name*: ``box-crash``/``link-down``
+    events fail the resource (in-service work is parked and replayed on
+    recovery), ``box-recover``/``link-up`` recover it, and
+    ``box-degrade`` divides its service rate by the event severity until
+    recovery.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self._schedule = schedule
+
+    def arm(self, queue, resources: Mapping[str, object]) -> int:
+        """Schedule the events on ``queue``; returns callbacks armed."""
+        armed = 0
+        for event in self._schedule:
+            resource = resources.get(event.target)
+            if resource is None:
+                continue
+            if event.kind in (BOX_CRASH, LINK_DOWN):
+                queue.schedule_at(event.time, resource.fail)
+            elif event.kind in (BOX_RECOVER, LINK_UP):
+                queue.schedule_at(event.time, resource.recover)
+            elif event.kind == BOX_DEGRADE:
+                factor = event.severity
+                queue.schedule_at(
+                    event.time,
+                    lambda r=resource, f=factor: r.degrade(f),
+                )
+            else:
+                continue
+            armed += 1
+        return armed

@@ -1,0 +1,91 @@
+"""Shim-side retry policy: timeout, bounded backoff, deterministic jitter.
+
+When a worker shim (or a box forwarding upstream) cannot reach its
+target, it retries with exponential backoff before degrading down the
+ladder (next on-path box, then direct-to-master).  Real systems add
+random jitter to decorrelate retry storms; here the jitter is a hash of
+``(key, attempt)`` so runs are bit-reproducible while different senders
+still spread out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.netsim.routing import stable_hash
+
+#: Jitter granularity: hashes are reduced modulo this many buckets.
+_JITTER_BUCKETS = 10_000
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Attributes:
+        timeout: seconds a failed connect attempt burns before the shim
+            gives up on it.
+        max_attempts: connect attempts per target before degrading to
+            the next rung of the ladder (>= 1).
+        base_backoff: sleep after the first failed attempt.
+        multiplier: backoff growth factor per further attempt.
+        max_backoff: backoff ceiling (the "bounded" in bounded backoff).
+        jitter: fraction of each backoff randomised away (0 = none,
+            0.5 = sleeps land in ``[0.5 * b, b]``), deterministically
+            from the retry key.
+        send_latency: clock cost of one successful delivery hop.
+    """
+
+    timeout: float = 0.05
+    max_attempts: int = 3
+    base_backoff: float = 0.01
+    multiplier: float = 2.0
+    max_backoff: float = 0.5
+    jitter: float = 0.5
+    send_latency: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff <= 0 or self.max_backoff < self.base_backoff:
+            raise ValueError(
+                "need 0 < base_backoff <= max_backoff "
+                f"(got {self.base_backoff}, {self.max_backoff})"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.send_latency < 0:
+            raise ValueError("send_latency must be >= 0")
+
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Sleep before retry number ``attempt + 1`` (attempts from 1).
+
+        Deterministic: the same ``(policy, attempt, key)`` always yields
+        the same delay, and the delay is within
+        ``[(1 - jitter) * b, b]`` for the un-jittered bound ``b``.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        raw = min(self.base_backoff * self.multiplier ** (attempt - 1),
+                  self.max_backoff)
+        if self.jitter == 0.0:
+            return raw
+        bucket = stable_hash(f"{key}#a{attempt}") % _JITTER_BUCKETS
+        return raw * (1.0 - self.jitter * bucket / _JITTER_BUCKETS)
+
+    def delays(self, key: str = "") -> List[float]:
+        """All backoff sleeps of one full retry sequence for ``key``."""
+        return [self.backoff(a, key) for a in range(1, self.max_attempts)]
+
+    def worst_case_clock(self) -> float:
+        """Upper bound on clock burnt before giving up on one target."""
+        return self.max_attempts * self.timeout + sum(
+            min(self.base_backoff * self.multiplier ** (a - 1),
+                self.max_backoff)
+            for a in range(1, self.max_attempts)
+        )

@@ -1,0 +1,295 @@
+"""Seedable, deterministic schedules of fault events.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent`
+records over virtual time.  Schedules are either composed explicitly
+(tests) or generated from a seed (:meth:`FaultSchedule.generate`), and
+every consumer -- the flow simulator, the functional platform, the
+testbed emulator -- derives its behaviour purely from the schedule plus
+its own deterministic clock, so a seed fully reproduces a chaos run.
+
+Event kinds and their per-layer meaning:
+
+==============  =====================================================
+kind            meaning
+==============  =====================================================
+``box-crash``   agg box dies at ``time`` (until a later ``box-recover``)
+``box-recover`` the box is healthy again (also clears degradation)
+``box-degrade`` the box's processing slows by factor ``severity``
+``link-down``   a network link carries no traffic
+``link-up``     the link is restored
+``worker-churn`` worker ``target`` is unavailable for ``duration`` s
+``clock-skew``  ``target``'s clock runs ``severity`` seconds behind
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+BOX_CRASH = "box-crash"
+BOX_RECOVER = "box-recover"
+BOX_DEGRADE = "box-degrade"
+LINK_DOWN = "link-down"
+LINK_UP = "link-up"
+WORKER_CHURN = "worker-churn"
+CLOCK_SKEW = "clock-skew"
+
+FAULT_KINDS = frozenset({
+    BOX_CRASH, BOX_RECOVER, BOX_DEGRADE,
+    LINK_DOWN, LINK_UP, WORKER_CHURN, CLOCK_SKEW,
+})
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One timestamped fault.
+
+    Attributes:
+        time: virtual time of the event (seconds, >= 0).
+        kind: one of :data:`FAULT_KINDS`.
+        target: box id, link id, or ``"worker:<index>"`` the event hits.
+        severity: degradation factor (``box-degrade``, > 1 slows the
+            box down) or skew seconds (``clock-skew``); unused otherwise.
+        duration: how long the fault lasts (``worker-churn`` only; crash
+            and link faults end via explicit recover/up events).
+    """
+
+    time: float
+    kind: str
+    target: str
+    severity: float = 1.0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault at negative time {self.time}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not self.target:
+            raise ValueError("fault needs a target")
+        if self.severity <= 0:
+            raise ValueError("severity must be positive")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered, queryable set of fault events.
+
+    Events are kept sorted by ``(time, kind, target)``; all queries are
+    pure functions of the schedule and a time ``t``, so layers can poll
+    at their own clocks without coordination.
+    """
+
+    _events: List[FaultEvent] = field(default_factory=list)
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events = sorted(events)
+
+    # -- composition ----------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        """Insert one event, keeping order.  Returns self for chaining."""
+        insort(self._events, event)
+        return self
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0.0 for an empty schedule)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def events_for(self, kind: Optional[str] = None,
+                   target: Optional[str] = None) -> List[FaultEvent]:
+        """Events matching the given kind and/or target."""
+        return [
+            e for e in self._events
+            if (kind is None or e.kind == kind)
+            and (target is None or e.target == target)
+        ]
+
+    def between(self, t0: float, t1: float) -> List[FaultEvent]:
+        """Events with ``t0 <= time < t1``."""
+        return [e for e in self._events if t0 <= e.time < t1]
+
+    # -- point-in-time queries ------------------------------------------------
+
+    def crashed_at(self, t: float) -> Set[str]:
+        """Boxes crashed at or before ``t`` and not yet recovered."""
+        down: Set[str] = set()
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.kind == BOX_CRASH:
+                down.add(event.target)
+            elif event.kind == BOX_RECOVER:
+                down.discard(event.target)
+        return down
+
+    def links_down_at(self, t: float) -> Set[str]:
+        """Links down at or before ``t`` and not yet brought back up."""
+        down: Set[str] = set()
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.kind == LINK_DOWN:
+                down.add(event.target)
+            elif event.kind == LINK_UP:
+                down.discard(event.target)
+        return down
+
+    def degradation_at(self, target: str, t: float) -> float:
+        """Processing slow-down factor of ``target`` at ``t`` (1.0 = healthy).
+
+        The latest ``box-degrade`` at or before ``t`` applies until a
+        ``box-recover`` for the same target clears it.
+        """
+        factor = 1.0
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.target != target:
+                continue
+            if event.kind == BOX_DEGRADE:
+                factor = event.severity
+            elif event.kind == BOX_RECOVER:
+                factor = 1.0
+        return factor
+
+    def clock_skew_at(self, target: str, t: float) -> float:
+        """Seconds ``target``'s clock lags at ``t`` (0.0 = in sync)."""
+        skew = 0.0
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.target != target:
+                continue
+            if event.kind == CLOCK_SKEW:
+                skew = event.severity
+            elif event.kind == BOX_RECOVER:
+                skew = 0.0
+        return skew
+
+    def churn_until(self, target: str, t: float) -> Optional[float]:
+        """End time of a ``worker-churn`` window covering ``t``, if any."""
+        end: Optional[float] = None
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.kind == WORKER_CHURN and event.target == target \
+                    and t < event.time + event.duration:
+                window_end = event.time + event.duration
+                end = window_end if end is None else max(end, window_end)
+        return end
+
+    def permanent_crashes(self) -> Dict[str, float]:
+        """Box id -> crash time, for crashes never followed by a recover."""
+        last_crash: Dict[str, float] = {}
+        for event in self._events:
+            if event.kind == BOX_CRASH:
+                last_crash[event.target] = event.time
+            elif event.kind == BOX_RECOVER:
+                last_crash.pop(event.target, None)
+        return last_crash
+
+    # -- generation -----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration: float,
+        boxes: Sequence[str] = (),
+        links: Sequence[str] = (),
+        workers: int = 0,
+        box_crashes: int = 0,
+        link_flaps: int = 0,
+        degradations: int = 0,
+        churns: int = 0,
+        skews: int = 0,
+        mean_downtime: Optional[float] = None,
+        permanent_fraction: float = 0.25,
+    ) -> "FaultSchedule":
+        """Draw a random but fully seed-determined schedule.
+
+        Crashes strike in ``[0, 0.8 * duration)`` so some requests are
+        in flight when they land; a ``permanent_fraction`` of them never
+        recover (exercising §3.1's tree rewiring), the rest recover
+        after an exponential downtime (exercising retry ride-through).
+        Link faults are always flaps (down + up pairs): permanent wire
+        cuts would need rerouting below the aggregation layer, which the
+        paper's failure model does not cover.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if box_crashes + degradations + skews > 0 and not boxes:
+            raise ValueError("box faults requested but no boxes given")
+        if link_flaps > 0 and not links:
+            raise ValueError("link flaps requested but no links given")
+        if churns > 0 and workers < 1:
+            raise ValueError("worker churn requested but no workers given")
+        rng = random.Random(seed)
+        mean_downtime = mean_downtime or duration / 4.0
+        events: List[FaultEvent] = []
+        boxes = sorted(boxes)
+        links = sorted(links)
+
+        for _ in range(box_crashes):
+            box = rng.choice(boxes)
+            start = rng.uniform(0.0, 0.8 * duration)
+            events.append(FaultEvent(time=start, kind=BOX_CRASH, target=box))
+            if rng.random() >= permanent_fraction:
+                downtime = min(rng.expovariate(1.0 / mean_downtime),
+                               duration - start)
+                events.append(FaultEvent(time=start + downtime,
+                                         kind=BOX_RECOVER, target=box))
+
+        for _ in range(link_flaps):
+            link = rng.choice(links)
+            start = rng.uniform(0.0, 0.9 * duration)
+            flap = rng.uniform(0.01, 0.2) * duration
+            events.append(FaultEvent(time=start, kind=LINK_DOWN, target=link))
+            events.append(FaultEvent(time=min(start + flap, duration),
+                                     kind=LINK_UP, target=link))
+
+        for _ in range(degradations):
+            box = rng.choice(boxes)
+            start = rng.uniform(0.0, 0.8 * duration)
+            factor = rng.uniform(1.5, 8.0)
+            events.append(FaultEvent(time=start, kind=BOX_DEGRADE,
+                                     target=box, severity=factor))
+            events.append(FaultEvent(
+                time=min(start + rng.expovariate(1.0 / mean_downtime),
+                         duration),
+                kind=BOX_RECOVER, target=box,
+            ))
+
+        for _ in range(churns):
+            index = rng.randrange(workers)
+            start = rng.uniform(0.0, 0.8 * duration)
+            events.append(FaultEvent(
+                time=start, kind=WORKER_CHURN, target=f"worker:{index}",
+                duration=rng.uniform(0.05, 0.25) * duration,
+            ))
+
+        for _ in range(skews):
+            box = rng.choice(boxes)
+            events.append(FaultEvent(
+                time=rng.uniform(0.0, 0.8 * duration), kind=CLOCK_SKEW,
+                target=box, severity=rng.uniform(0.1, 2.0),
+            ))
+
+        return cls(events)

@@ -134,6 +134,8 @@ def slowdowns(result: SimulationResult, network,
         bottleneck = min(capacities[link] for link in spec.path)
         if spec.rate_cap is not None:
             bottleneck = min(bottleneck, spec.rate_cap)
+        if bottleneck <= 0:
+            continue  # link downed post-run; no meaningful ideal
         ideal = spec.size / bottleneck
         if ideal <= 0:
             continue

@@ -19,6 +19,18 @@ contaminating downstream flows' FCTs.
 Agg-box processing capacity appears as a virtual link on the path of each
 segment *entering* the box, so a box shared by many segments rate-limits
 them exactly like a wire would.
+
+**Fault events.**  Two kinds of scheduled events let the fault-injection
+layer (:mod:`repro.faults`) perturb a run deterministically:
+
+- a :class:`CapacityEvent` changes a link's capacity at a virtual time;
+  capacity ``0`` means *down* -- flows whose current path crosses a down
+  link drop out of the max-min rate solve (they make no progress) until
+  the link recovers or they are rerouted;
+- a :class:`RerouteEvent` moves a flow's remaining bytes onto a new path
+  (the §3.1 rewiring of segment flows around a failed agg box).  Bytes
+  already transferred are accounted to the old path, the remainder to
+  the new one.
 """
 
 from __future__ import annotations
@@ -70,6 +82,34 @@ class FlowSpec:
             raise ValueError(f"flow {self.flow_id!r} starts before t=0")
         if self.rate_cap is not None and self.rate_cap <= 0:
             raise ValueError(f"flow {self.flow_id!r} has non-positive cap")
+
+
+@dataclass(frozen=True)
+class CapacityEvent:
+    """Scheduled change of one link's capacity (0 = link down)."""
+
+    when: float
+    link_id: str
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.when < 0:
+            raise ValueError("capacity events cannot predate t=0")
+        if self.capacity < 0:
+            raise ValueError("capacity must be >= 0 (0 = down)")
+
+
+@dataclass(frozen=True)
+class RerouteEvent:
+    """Scheduled path change: remaining bytes continue on ``path``."""
+
+    when: float
+    flow_id: str
+    path: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.when < 0:
+            raise ValueError("reroute events cannot predate t=0")
 
 
 @dataclass
@@ -145,10 +185,40 @@ class FlowSim:
     def __init__(self, network: Network) -> None:
         self._network = network
         self._specs: Dict[str, FlowSpec] = {}
+        self._cap_events: List[CapacityEvent] = []
+        self._reroute_events: List[RerouteEvent] = []
 
     @property
     def network(self) -> Network:
         return self._network
+
+    def spec(self, flow_id: str) -> FlowSpec:
+        """The registered spec for ``flow_id`` (KeyError if unknown)."""
+        return self._specs[flow_id]
+
+    def flow_ids(self) -> List[str]:
+        return sorted(self._specs)
+
+    def add_capacity_event(self, when: float, link_id: str,
+                           capacity: float) -> None:
+        """Schedule a link capacity change (0 = down) at virtual time."""
+        if link_id not in self._network:
+            raise KeyError(f"capacity event on unknown link {link_id!r}")
+        self._cap_events.append(CapacityEvent(when=when, link_id=link_id,
+                                              capacity=capacity))
+
+    def add_reroute_event(self, when: float, flow_id: str,
+                          path: Sequence[str]) -> None:
+        """Schedule a flow's remaining bytes onto a new path."""
+        if flow_id not in self._specs:
+            raise KeyError(f"reroute event for unknown flow {flow_id!r}")
+        for link_id in path:
+            if link_id not in self._network:
+                raise KeyError(
+                    f"reroute of {flow_id!r} uses unknown link {link_id!r}"
+                )
+        self._reroute_events.append(RerouteEvent(when=when, flow_id=flow_id,
+                                                 path=tuple(path)))
 
     def add_flow(self, spec: FlowSpec) -> None:
         """Register a flow; validates path links and id uniqueness."""
@@ -168,7 +238,23 @@ class FlowSim:
     def run(self) -> SimulationResult:
         """Run to completion and return per-flow records."""
         self._validate_dependencies()
-        capacities = self._network.capacities()
+        capacities = dict(self._network.capacities())
+        #: Current path per flow; reroute events replace entries.
+        paths: Dict[str, Tuple[str, ...]] = {
+            flow_id: spec.path for flow_id, spec in self._specs.items()
+        }
+        #: Bytes already charged to a (previous) path per rerouted flow.
+        accounted: Dict[str, float] = {}
+
+        # Fault events, time-ordered with a stable tie-break (capacity
+        # changes before reroutes at equal times, then insertion order).
+        events: List[Tuple[float, int, object]] = sorted(
+            [(e.when, i, e) for i, e in enumerate(self._cap_events)]
+            + [(e.when, len(self._cap_events) + i, e)
+               for i, e in enumerate(self._reroute_events)],
+            key=lambda item: (item[0], item[1]),
+        )
+        event_i = 0
 
         # Dependency bookkeeping: a flow is *armed* once every child has
         # drained; an armed flow is admitted at max(start_time, arm time).
@@ -204,7 +290,7 @@ class FlowSim:
                 when, flow_id = heapq.heappop(pending)
                 spec = self._specs[flow_id]
                 admitted = max(when, spec.start_time)
-                if spec.size <= 0 or (not spec.path and
+                if spec.size <= 0 or (not paths[flow_id] and
                                       spec.rate_cap is None):
                     drain(flow_id, admitted, admitted)
                 else:
@@ -214,41 +300,85 @@ class FlowSim:
                     )
                     remaining[flow_id] = spec.size
 
+        def apply_event(event: object) -> None:
+            if isinstance(event, CapacityEvent):
+                capacities[event.link_id] = event.capacity
+                return
+            assert isinstance(event, RerouteEvent)
+            flow_id = event.flow_id
+            if flow_id in records and flow_id not in remaining:
+                return  # already drained; nothing left to move
+            if flow_id in remaining:
+                # Charge what transferred so far to the old path.
+                moved = self._specs[flow_id].size - remaining[flow_id]
+                delta = moved - accounted.get(flow_id, 0.0)
+                if delta > 0:
+                    for link_id in paths[flow_id]:
+                        self._network.account(link_id, delta)
+                    accounted[flow_id] = moved
+            paths[flow_id] = event.path
+
         while pending or remaining:
             if not remaining:
-                now = max(now, pending[0][0])
+                wake = pending[0][0]
+                if event_i < len(events):
+                    wake = min(wake, events[event_i][0])
+                now = max(now, wake)
+            while event_i < len(events) and \
+                    events[event_i][0] <= now + EPSILON:
+                apply_event(events[event_i][2])
+                event_i += 1
             admit(now)
             if not remaining:
                 continue
 
+            # Flows crossing a down link are stalled: they keep their
+            # place but receive no rate until recovery or a reroute.
+            stalled = {
+                fid for fid in remaining
+                if any(capacities.get(l, 0.0) <= 0.0 for l in paths[fid])
+            }
+            flowing = {
+                fid: paths[fid] for fid in remaining if fid not in stalled
+            }
             rates = max_min_rates(
-                {fid: self._specs[fid].path for fid in remaining},
+                flowing,
                 capacities,
                 {
                     fid: self._specs[fid].rate_cap
-                    for fid in remaining
+                    for fid in flowing
                     if self._specs[fid].rate_cap is not None
                 },
-            )
+            ) if flowing else {}
             dt_complete = float("inf")
-            for flow_id, left in remaining.items():
+            for flow_id in flowing:
                 rate = rates[flow_id]
                 if rate == float("inf"):
                     dt_complete = 0.0
                     break
                 if rate > 0:
-                    dt_complete = min(dt_complete, left / rate)
+                    dt_complete = min(dt_complete,
+                                      remaining[flow_id] / rate)
             dt_next_start = (pending[0][0] - now) if pending else float("inf")
-            dt = min(dt_complete, dt_next_start)
+            dt_next_event = (events[event_i][0] - now) \
+                if event_i < len(events) else float("inf")
+            dt = min(dt_complete, dt_next_start, dt_next_event)
             if dt == float("inf"):
+                detail = ""
+                if stalled:
+                    detail = (
+                        f" ({len(stalled)} flow(s) stuck on down links "
+                        "with no recovery or reroute scheduled)"
+                    )
                 raise RuntimeError(
                     "simulation stalled: active flows make no progress"
+                    + detail
                 )
             dt = max(dt, 0.0)
 
             now += dt
             finished: List[str] = []
-            for flow_id in remaining:
+            for flow_id in flowing:
                 rate = rates[flow_id]
                 if rate == float("inf"):
                     remaining[flow_id] = 0.0
@@ -265,7 +395,7 @@ class FlowSim:
         if len(records) != len(self._specs):
             missing = sorted(set(self._specs) - set(records))
             raise RuntimeError(f"flows never became eligible: {missing}")
-        self._account_traffic()
+        self._account_traffic(paths, accounted)
         end_time = max(
             (r.completion_time for r in records.values()), default=0.0
         )
@@ -294,12 +424,16 @@ class FlowSim:
         for flow_id in self._specs:
             visit(flow_id)
 
-    def _account_traffic(self) -> None:
-        """Charge each flow's full size to every link on its path.
+    def _account_traffic(self, paths: Dict[str, Tuple[str, ...]],
+                         accounted: Dict[str, float]) -> None:
+        """Charge each flow's bytes to the links that carried them.
 
         Total bytes per link do not depend on the rate schedule, so the
-        accounting is exact and done once at the end.
+        accounting is exact and done once at the end.  For rerouted
+        flows, bytes moved before the reroute were charged to the old
+        path when the event fired; only the remainder lands here.
         """
-        for spec in self._specs.values():
-            for link_id in spec.path:
-                self._network.account(link_id, spec.size)
+        for flow_id, spec in self._specs.items():
+            rest = spec.size - accounted.get(flow_id, 0.0)
+            for link_id in paths[flow_id]:
+                self._network.account(link_id, rest)

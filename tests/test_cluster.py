@@ -14,7 +14,7 @@ from repro.cluster.hadoop_driver import JobProfile, measure_job_profile
 from repro.cluster.solr_driver import SolrEmulationParams
 from repro.apps.hadoop import generate_text, wordcount_job
 from repro.netsim.engine import EventQueue
-from repro.units import GB, Gbps
+from repro.units import GB
 
 
 class TestResource:

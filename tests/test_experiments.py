@@ -235,3 +235,26 @@ class TestExtraAblations:
             fractions = [f for _, f in points]
             assert fractions == sorted(fractions)
             assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestFigFailures:
+    def test_quick_shape_and_exactness(self):
+        from repro.experiments import fig_failures
+
+        result = fig_failures.run(scale=QUICK, fault_rates=(0.0, 0.2))
+        rates = result.column("fault_rate")
+        assert rates == [0.0, 0.2]
+        degradations = result.column("netagg_degradation")
+        assert degradations[0] == pytest.approx(1.0)
+        # Faults may only slow aggregation down, never corrupt it.  The
+        # FCT shift is noisy at QUICK scale (a reroute can even land a
+        # tail flow on a quieter path), so only exactness is strict.
+        assert all(result.column("exact"))
+        assert all(0.2 < d < 20.0 for d in degradations)
+
+    def test_quick_deterministic(self):
+        from repro.experiments import fig_failures
+
+        a = fig_failures.run(scale=QUICK, seed=5, fault_rates=(0.2,))
+        b = fig_failures.run(scale=QUICK, seed=5, fault_rates=(0.2,))
+        assert a.rows == b.rows

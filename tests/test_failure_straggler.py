@@ -86,6 +86,55 @@ class TestRewireFailedBox:
         # Everything failed: all workers go direct.
         assert tree.direct_workers() == [0, 1, 2, 3]
 
+    def test_second_victim_inherited_children_lanes_compose(self):
+        """B2 dies after adopting B1's children: lanes join twice."""
+        tree = make_tree()
+        first = [b for b, v in tree.boxes.items() if v.parent and v.children]
+        b1 = first[0]
+        b2 = tree.boxes[b1].parent
+        inherited = list(tree.boxes[b1].children)
+        assert inherited, "test needs a victim with children"
+        original_lanes = {
+            c: tree.boxes[c].lane_to_parent for c in inherited
+        }
+        once = rewire_failed_box(tree, b1)
+        for child in inherited:
+            assert once.boxes[child].parent == b2
+        grandparent = once.boxes[b2].parent
+        twice = rewire_failed_box(once, b2)
+        for child in inherited:
+            vertex = twice.boxes[child]
+            # Inherited child re-parented again, one level further up.
+            assert vertex.parent == grandparent
+            lane = vertex.lane_to_parent
+            original = original_lanes[child]
+            # The doubly-joined lane extends the original lane prefix
+            # through both dead boxes' lane remainders, no duplicated
+            # junction switches.
+            assert lane[: len(original)] == original
+            assert len(lane) > len(original)
+            assert len(lane) == len(set(lane)), f"lane repeats: {lane}"
+            if grandparent is not None:
+                assert child in twice.boxes[grandparent].children
+
+    def test_root_failure_direct_workers_fall_back_to_master(self):
+        tree = make_tree()
+        (root,) = tree.roots()
+        # Give the root a directly-attached worker by failing the
+        # worker's entry chain up to the root first.
+        entry = tree.worker_entry[0]
+        while entry is not None and entry != root:
+            tree = rewire_failed_box(tree, entry)
+            entry = tree.worker_entry[0]
+        assert tree.worker_entry[0] == root
+        assert 0 in tree.boxes[root].direct_workers
+        rewired = rewire_failed_box(tree, root)
+        # The root's direct workers ship straight to the master now.
+        assert rewired.worker_entry[0] is None
+        assert 0 in rewired.direct_workers()
+        lane = rewired.worker_lane[0]
+        assert len(lane) == len(set(lane)), f"lane repeats: {lane}"
+
 
 class TestFailureDetector:
     def test_healthy_box_not_missing(self):
@@ -120,6 +169,25 @@ class TestFailureDetector:
     def test_timeout_validation(self):
         with pytest.raises(ValueError):
             FailureDetector(timeout=0.0)
+
+    def test_clock_regression_clamped(self):
+        """A rewound sender clock must not age a live box (skewed
+        heartbeats keep the newest timestamp seen)."""
+        detector = FailureDetector(timeout=1.0)
+        detector.watch("b1", now=0.0)
+        detector.heartbeat("b1", now=5.0)
+        detector.heartbeat("b1", now=2.0)  # skewed/rewound clock
+        assert detector.missing(now=5.5) == []
+        # The clamp keeps 5.0, so the box times out from there.
+        assert detector.missing(now=6.5) == ["b1"]
+
+    def test_missing_boundary_is_strict(self):
+        """Exactly `timeout` seconds since the heartbeat is still alive;
+        missing() requires strictly more (`>`, not `>=`)."""
+        detector = FailureDetector(timeout=1.0)
+        detector.watch("b1", now=0.0)
+        assert detector.missing(now=1.0) == []
+        assert detector.missing(now=1.0 + 1e-9) == ["b1"]
 
 
 class TestStragglerMonitor:

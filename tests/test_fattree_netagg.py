@@ -1,8 +1,6 @@
 """NetAgg on a fat-tree: lanes must respect the restricted core wiring
 (aggregation switch j of every pod reaches only core group j)."""
 
-import pytest
-
 from repro.aggregation import NetAggStrategy, RackLevelStrategy
 from repro.core.tree import TreeBuilder
 from repro.netsim import FlowSim

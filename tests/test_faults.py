@@ -1,0 +1,528 @@
+"""Tests for the deterministic fault-injection layer (repro.faults).
+
+Covers the schedule/retry primitives, the three per-layer injectors
+(flow simulator, functional platform, testbed emulator), and the
+property-style guarantee the layer exists for: under randomized seeded
+fault schedules the platform's aggregates stay byte-identical to a
+centralised computation while the shims retry and degrade gracefully.
+"""
+
+import pytest
+
+from repro.aggbox.functions import SearchResult, TopKFunction
+from repro.aggregation import NetAggStrategy, deploy_boxes
+from repro.cluster.emulator import Resource
+from repro.core.platform import NetAggPlatform
+from repro.faults import (
+    BOX_CRASH,
+    BOX_DEGRADE,
+    BOX_RECOVER,
+    LINK_DOWN,
+    LINK_UP,
+    WORKER_CHURN,
+    EmulatorFaultInjector,
+    FaultEvent,
+    FaultSchedule,
+    PlatformFaultInjector,
+    RetryPolicy,
+    SimFaultInjector,
+)
+from repro.netsim.engine import EventQueue
+from repro.netsim.simulator import FlowSim
+from repro.topology.threetier import ThreeTierParams, three_tier
+from repro.wire.records import decode_search_results, encode_search_results
+from repro.workload.synthetic import WorkloadParams, generate_workload
+
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=4
+)
+
+
+def small_topo():
+    topo = three_tier(SMALL)
+    deploy_boxes(topo)
+    return topo
+
+
+# ---------------------------------------------------------------------------
+# FaultSchedule
+
+
+class TestFaultSchedule:
+    def test_events_kept_sorted(self):
+        sched = FaultSchedule([
+            FaultEvent(2.0, BOX_CRASH, "b"),
+            FaultEvent(1.0, LINK_DOWN, "l"),
+        ])
+        sched.add(FaultEvent(1.5, LINK_UP, "l"))
+        assert [e.time for e in sched] == [1.0, 1.5, 2.0]
+        assert sched.horizon == 2.0
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, BOX_CRASH, "b")
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "meteor-strike", "b")
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, BOX_CRASH, "")
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, BOX_DEGRADE, "b", severity=0.0)
+
+    def test_crashed_at_tracks_recovery(self):
+        sched = FaultSchedule([
+            FaultEvent(1.0, BOX_CRASH, "b1"),
+            FaultEvent(2.0, BOX_RECOVER, "b1"),
+            FaultEvent(3.0, BOX_CRASH, "b2"),
+        ])
+        assert sched.crashed_at(0.5) == set()
+        assert sched.crashed_at(1.0) == {"b1"}
+        assert sched.crashed_at(2.5) == set()
+        assert sched.crashed_at(3.5) == {"b2"}
+
+    def test_links_down_at(self):
+        sched = FaultSchedule([
+            FaultEvent(1.0, LINK_DOWN, "l1"),
+            FaultEvent(2.0, LINK_UP, "l1"),
+        ])
+        assert sched.links_down_at(1.5) == {"l1"}
+        assert sched.links_down_at(2.0) == set()
+
+    def test_degradation_cleared_by_recover(self):
+        sched = FaultSchedule([
+            FaultEvent(1.0, BOX_DEGRADE, "b1", severity=4.0),
+            FaultEvent(3.0, BOX_RECOVER, "b1"),
+        ])
+        assert sched.degradation_at("b1", 0.5) == 1.0
+        assert sched.degradation_at("b1", 2.0) == 4.0
+        assert sched.degradation_at("b1", 3.5) == 1.0
+        assert sched.degradation_at("other", 2.0) == 1.0
+
+    def test_churn_window(self):
+        sched = FaultSchedule([
+            FaultEvent(1.0, WORKER_CHURN, "worker:3", duration=2.0),
+        ])
+        assert sched.churn_until("worker:3", 0.5) is None
+        assert sched.churn_until("worker:3", 1.5) == 3.0
+        assert sched.churn_until("worker:3", 3.5) is None
+        assert sched.churn_until("worker:0", 1.5) is None
+
+    def test_permanent_crashes(self):
+        sched = FaultSchedule([
+            FaultEvent(1.0, BOX_CRASH, "b1"),
+            FaultEvent(2.0, BOX_CRASH, "b2"),
+            FaultEvent(3.0, BOX_RECOVER, "b2"),
+        ])
+        assert sched.permanent_crashes() == {"b1": 1.0}
+
+    def test_generate_deterministic(self):
+        kwargs = dict(duration=10.0, boxes=["b1", "b2", "b3"],
+                      links=["l1", "l2"], workers=4, box_crashes=3,
+                      link_flaps=2, degradations=1, churns=1, skews=1)
+        a = FaultSchedule.generate(seed=42, **kwargs)
+        b = FaultSchedule.generate(seed=42, **kwargs)
+        c = FaultSchedule.generate(seed=43, **kwargs)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_generate_link_faults_always_flap(self):
+        sched = FaultSchedule.generate(seed=7, duration=10.0,
+                                       links=["l1", "l2"], link_flaps=5)
+        downs = sched.events_for(kind=LINK_DOWN)
+        ups = sched.events_for(kind=LINK_UP)
+        assert len(downs) == len(ups) == 5
+
+    def test_generate_validates_targets(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(seed=1, duration=1.0, box_crashes=1)
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(seed=1, duration=1.0, link_flaps=1)
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(seed=1, duration=0.0)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff=0.01, multiplier=2.0,
+                             max_backoff=0.03, jitter=0.0, max_attempts=6)
+        delays = policy.delays()
+        assert delays == [0.01, 0.02, 0.03, 0.03, 0.03]
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(jitter=0.5)
+        for attempt in (1, 2):
+            raw = RetryPolicy(jitter=0.0).backoff(attempt)
+            jittered = policy.backoff(attempt, key="w0->box:a")
+            assert raw * 0.5 <= jittered <= raw
+            assert jittered == policy.backoff(attempt, key="w0->box:a")
+        assert policy.backoff(1, key="a") != policy.backoff(1, key="b")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=0.5, max_backoff=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+    def test_worst_case_clock(self):
+        policy = RetryPolicy(timeout=0.1, max_attempts=2, base_backoff=0.05,
+                             max_backoff=0.05, jitter=0.0)
+        assert policy.worst_case_clock() == pytest.approx(0.25)
+
+
+# ---------------------------------------------------------------------------
+# Simulator injection
+
+
+def _netagg_sim(topo, schedule, seed=3, n_flows=25):
+    workload = generate_workload(
+        topo, WorkloadParams(n_flows=n_flows), seed=seed)
+    injector = SimFaultInjector(topo, schedule)
+    strategy = NetAggStrategy(fault_view=injector.fault_view)
+    sim = FlowSim(topo.network)
+    sim.add_flows(strategy.plan(workload, topo))
+    injector.apply(sim, workload)
+    return sim, workload
+
+
+class TestSimFaultInjector:
+    def test_capacity_events_cover_box_links(self):
+        topo = small_topo()
+        box = sorted(i.box_id for i in topo.all_boxes())[0]
+        info = topo.box(box)
+        sched = FaultSchedule([
+            FaultEvent(1.0, BOX_CRASH, box),
+            FaultEvent(2.0, BOX_RECOVER, box),
+        ])
+        events = SimFaultInjector(topo, sched).capacity_events(topo.network)
+        downed = {link for when, link, cap in events if cap == 0.0}
+        assert downed == {info.downlink, info.uplink, info.proc_link}
+        restored = {link: cap for when, link, cap in events if when == 2.0}
+        base = topo.network.capacities()
+        assert restored == {link: base[link] for link in downed}
+
+    def test_unknown_targets_skipped(self):
+        topo = three_tier(SMALL)  # no boxes deployed
+        sched = FaultSchedule([
+            FaultEvent(1.0, BOX_CRASH, "box:tor:0:0"),
+            FaultEvent(1.0, LINK_DOWN, "no-such-link"),
+        ])
+        assert SimFaultInjector(topo, sched).capacity_events(
+            topo.network) == []
+
+    def test_degrade_scales_proc_link(self):
+        topo = small_topo()
+        box = sorted(i.box_id for i in topo.all_boxes())[0]
+        info = topo.box(box)
+        sched = FaultSchedule([
+            FaultEvent(1.0, BOX_DEGRADE, box, severity=4.0),
+        ])
+        events = SimFaultInjector(topo, sched).capacity_events(topo.network)
+        base = topo.network.capacities()[info.proc_link]
+        assert events == [(1.0, info.proc_link, base / 4.0)]
+
+    def test_permanent_crash_mid_run_completes_via_reroutes(self):
+        topo = small_topo()
+        # Find a box actually used by the fault-free plan, then crash it
+        # permanently at ~30% of the fault-free makespan.
+        sim0, _ = _netagg_sim(topo, FaultSchedule())
+        base = sim0.run()
+        used = sorted({
+            link.split("proc:")[1]
+            for record in base.records.values()
+            for link in record.spec.path if link.startswith("proc:")
+        })
+        end = max(r.drain_time for r in base.records.values())
+        sched = FaultSchedule([FaultEvent(0.3 * end, BOX_CRASH, used[0])])
+
+        topo2 = small_topo()
+        sim, _ = _netagg_sim(topo2, sched)
+        result = sim.run()  # would raise on stalled flows
+        assert len(result.records) == len(base.records)
+
+        topo3 = small_topo()
+        sim2, _ = _netagg_sim(topo3, sched)
+        again = sim2.run()
+        assert {f: r.drain_time for f, r in result.records.items()} == \
+            {f: r.drain_time for f, r in again.records.items()}
+
+    def test_unrecovered_link_stalls_with_diagnostic(self):
+        topo = small_topo()
+        sim, _ = _netagg_sim(topo, FaultSchedule())
+        flow = next(iter(sim.flow_ids()))
+        link = sim.spec(flow).path[0]
+        sim.add_capacity_event(0.0, link, 0.0)
+        with pytest.raises(RuntimeError, match="down links"):
+            sim.run()
+
+    def test_transient_crash_rides_through(self):
+        """A crash that recovers needs no reroutes -- flows wait it out."""
+        topo = small_topo()
+        sim0, _ = _netagg_sim(topo, FaultSchedule())
+        base = sim0.run()
+        used = sorted({
+            link.split("proc:")[1]
+            for record in base.records.values()
+            for link in record.spec.path if link.startswith("proc:")
+        })
+        end = max(r.drain_time for r in base.records.values())
+        sched = FaultSchedule([
+            FaultEvent(0.3 * end, BOX_CRASH, used[0]),
+            FaultEvent(0.6 * end, BOX_RECOVER, used[0]),
+        ])
+        assert not sched.permanent_crashes()
+        topo2 = small_topo()
+        sim, _ = _netagg_sim(topo2, sched)
+        result = sim.run()
+        assert len(result.records) == len(base.records)
+        faulted_end = max(r.drain_time for r in result.records.values())
+        assert faulted_end >= end
+
+
+# ---------------------------------------------------------------------------
+# Platform injection
+
+
+def _solr_platform(faults=None, retry=None):
+    topo = small_topo()
+    platform = NetAggPlatform(topo, faults=faults, retry=retry)
+    platform.register_app("solr", TopKFunction(k=3),
+                          encode_search_results, decode_search_results)
+    return platform
+
+
+def _solr_partials(hosts=("host:1", "host:4", "host:8", "host:12")):
+    return [
+        (host, [SearchResult(i * 10 + j, float(i * 10 + j))
+                for j in range(5)])
+        for i, host in enumerate(hosts)
+    ]
+
+
+class TestPlatformFaults:
+    def test_no_faults_no_events(self):
+        outcome = _solr_platform().execute_request(
+            "solr", "r1", "host:0", _solr_partials())
+        assert outcome.shim_events == []
+
+    def test_crashed_boxes_rewired_with_retries(self):
+        partials = _solr_partials()
+        base = _solr_platform().execute_request("solr", "r1", "host:0",
+                                                partials)
+        victims = base.boxes_used[:2]
+        sched = FaultSchedule([FaultEvent(0.0, BOX_CRASH, v)
+                               for v in victims])
+        platform = _solr_platform(faults=PlatformFaultInjector(sched))
+        outcome = platform.execute_request("solr", "r1", "host:0", partials)
+        assert outcome.value == base.value
+        assert outcome.events_of_kind("retry")
+        assert {e.target for e in outcome.events_of_kind("unreachable")} \
+            == set(victims)
+        assert not set(victims) & set(outcome.boxes_used)
+        assert platform.clock > 0.0
+
+    def test_retry_rides_through_recovery_during_backoff(self):
+        partials = _solr_partials()
+        base = _solr_platform().execute_request("solr", "r1", "host:0",
+                                                partials)
+        victim = base.boxes_used[0]
+        policy = RetryPolicy()
+        sched = FaultSchedule([
+            FaultEvent(0.0, BOX_CRASH, victim),
+            FaultEvent(policy.timeout * 1.5, BOX_RECOVER, victim),
+        ])
+        outcome = _solr_platform(
+            faults=PlatformFaultInjector(sched)).execute_request(
+            "solr", "r1", "host:0", partials)
+        assert outcome.value == base.value
+        assert outcome.events_of_kind("retry")
+        assert not outcome.events_of_kind("unreachable")
+        assert victim in outcome.boxes_used
+
+    def test_entry_box_crash_falls_back_or_bypasses(self):
+        partials = _solr_partials()
+        platform = _solr_platform()
+        base = platform.execute_request("solr", "r1", "host:0", partials)
+        # Crash every box used: all workers must bypass to the master.
+        sched = FaultSchedule([FaultEvent(0.0, BOX_CRASH, b)
+                               for b in base.boxes_used])
+        outcome = _solr_platform(
+            faults=PlatformFaultInjector(sched)).execute_request(
+            "solr", "r1", "host:0", partials)
+        assert outcome.value == base.value
+        assert outcome.events_of_kind("fallback") or \
+            outcome.events_of_kind("bypass")
+
+    def test_degradation_recorded_and_charges_clock(self):
+        partials = _solr_partials()
+        base = _solr_platform().execute_request("solr", "r1", "host:0",
+                                                partials)
+        victim = base.boxes_used[0]
+        sched = FaultSchedule([
+            FaultEvent(0.0, BOX_DEGRADE, victim, severity=5.0),
+        ])
+        healthy = _solr_platform(faults=PlatformFaultInjector(
+            FaultSchedule()))
+        degraded = _solr_platform(faults=PlatformFaultInjector(sched))
+        out_h = healthy.execute_request("solr", "r1", "host:0", partials)
+        out_d = degraded.execute_request("solr", "r1", "host:0", partials)
+        assert out_d.value == base.value == out_h.value
+        assert out_d.events_of_kind("degraded")
+        assert degraded.clock > healthy.clock
+
+    def test_churning_worker_waits_out_window(self):
+        partials = _solr_partials()
+        sched = FaultSchedule([
+            FaultEvent(0.0, WORKER_CHURN, "worker:1", duration=2.5),
+        ])
+        platform = _solr_platform(faults=PlatformFaultInjector(sched))
+        outcome = platform.execute_request("solr", "r1", "host:0", partials)
+        assert outcome.events_of_kind("churn")
+        assert platform.clock >= 2.5
+        base = _solr_platform().execute_request("solr", "r1", "host:0",
+                                                partials)
+        assert outcome.value == base.value
+
+    def test_property_random_schedules_stay_byte_exact(self):
+        """Seeded random schedules with >= 2 box crashes and >= 1 link
+        flap: the aggregate equals the centralised merge byte for byte
+        and at least one retry or fallback was recorded."""
+        partials = _solr_partials()
+        function = TopKFunction(k=3)
+        expected = function.merge([value for _, value in partials])
+        links = sorted(
+            link.link_id for link in small_topo().network.wire_links()
+            if "->core:" in link.link_id
+        )
+        for seed in range(10):
+            # Victims must sit on the tree this request will actually
+            # use (tree choice hashes the request id), so derive them
+            # from a fault-free run of the same request.
+            base = _solr_platform().execute_request(
+                "solr", f"r{seed}", "host:0", partials)
+            sched = FaultSchedule.generate(
+                seed=seed, duration=0.5, boxes=base.boxes_used,
+                links=links, workers=len(partials),
+                box_crashes=2 + seed % 2, link_flaps=1 + seed % 2,
+                degradations=seed % 2, churns=seed % 3,
+                permanent_fraction=1.0,
+            )
+            crashes = sched.events_for(kind=BOX_CRASH)
+            assert len(crashes) >= 2
+            platform = _solr_platform(faults=PlatformFaultInjector(sched))
+            # Start the request inside the first crash's window so the
+            # shims actually face a dead box.
+            platform.advance_clock(crashes[0].time)
+            outcome = platform.execute_request(
+                "solr", f"r{seed}", "host:0", partials)
+            assert outcome.value == expected, f"seed {seed} diverged"
+            degraded = (outcome.events_of_kind("retry")
+                        + outcome.events_of_kind("fallback")
+                        + outcome.events_of_kind("bypass"))
+            assert degraded, f"seed {seed} recorded no degradation"
+            # Bit-reproducible: same schedule, same outcome and events.
+            platform2 = _solr_platform(faults=PlatformFaultInjector(sched))
+            platform2.advance_clock(crashes[0].time)
+            outcome2 = platform2.execute_request(
+                "solr", f"r{seed}", "host:0", partials)
+            assert outcome2.value == outcome.value
+            assert outcome2.shim_events == outcome.shim_events
+
+    def test_batch_execution_under_faults(self):
+        base_platform = _solr_platform()
+        keyed = [
+            (host, [(f"k{i}:{j}", SearchResult(i * 10 + j,
+                                               float(i * 10 + j)))
+                    for j in range(4)])
+            for i, host in enumerate(("host:1", "host:4", "host:8"))
+        ]
+        base = base_platform.execute_batch("solr", "job", "host:0", keyed,
+                                           n_trees=2)
+        sched = FaultSchedule([FaultEvent(0.0, BOX_CRASH, b)
+                               for b in base.boxes_used[:2]])
+        outcome = _solr_platform(
+            faults=PlatformFaultInjector(sched)).execute_batch(
+            "solr", "job", "host:0", keyed, n_trees=2)
+        assert outcome.value == base.value
+
+
+# ---------------------------------------------------------------------------
+# Emulator injection
+
+
+class TestEmulatorFaults:
+    def test_fail_parks_and_replays_in_order(self):
+        queue = EventQueue()
+        nic = Resource(queue, "nic", rate=100.0)
+        dones = []
+        nic.request(100.0, lambda: dones.append(("a", queue.now)))
+        nic.request(50.0, lambda: dones.append(("b", queue.now)))
+        sched = FaultSchedule([
+            FaultEvent(0.4, BOX_CRASH, "nic"),
+            FaultEvent(0.9, BOX_RECOVER, "nic"),
+        ])
+        assert EmulatorFaultInjector(sched).arm(queue, {"nic": nic}) == 2
+        queue.run()
+        # "a" restarts from scratch at 0.9 (replay, not resume).
+        assert dones == [("a", pytest.approx(1.9)),
+                         ("b", pytest.approx(2.4))]
+        assert nic.failures == 1
+        # busy_time counts the 0.4s of wasted pre-crash work.
+        assert nic.busy_time == pytest.approx(0.4 + 1.0 + 0.5)
+
+    def test_fail_idempotent_and_down_blocks_dispatch(self):
+        queue = EventQueue()
+        cpu = Resource(queue, "cpu", rate=1.0)
+        cpu.fail()
+        cpu.fail()
+        assert cpu.failures == 1
+        assert cpu.is_down
+        done = []
+        cpu.request(1.0, lambda: done.append(queue.now))
+        queue.run()
+        assert done == []  # nothing dispatches while down
+        cpu.recover()
+        queue.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_degrade_slows_future_dispatches(self):
+        queue = EventQueue()
+        nic = Resource(queue, "nic", rate=10.0)
+        sched = FaultSchedule([
+            FaultEvent(0.0, BOX_DEGRADE, "nic", severity=2.0),
+        ])
+        EmulatorFaultInjector(sched).arm(queue, {"nic": nic})
+        done = []
+        queue.schedule_at(0.1, lambda: nic.request(
+            10.0, lambda: done.append(queue.now)))
+        queue.run()
+        assert done == [pytest.approx(2.1)]  # 10 units at rate 5
+        nic.recover()
+        assert nic.rate == 10.0
+
+    def test_unmatched_targets_not_armed(self):
+        queue = EventQueue()
+        sched = FaultSchedule([FaultEvent(1.0, BOX_CRASH, "ghost")])
+        assert EmulatorFaultInjector(sched).arm(queue, {}) == 0
+        assert len(queue) == 0
+
+    def test_multi_server_fail_refunds_unserved_time(self):
+        queue = EventQueue()
+        pool = Resource(queue, "cpu", rate=1.0, servers=2)
+        done = []
+        pool.request(2.0, lambda: done.append(queue.now))
+        pool.request(2.0, lambda: done.append(queue.now))
+        queue.schedule_at(1.0, pool.fail)
+        queue.schedule_at(1.5, pool.recover)
+        queue.run()
+        assert done == [pytest.approx(3.5), pytest.approx(3.5)]
+        # 2 servers x 1s real pre-crash work + 2 x 2s replays.
+        assert pool.busy_time == pytest.approx(2.0 + 4.0)

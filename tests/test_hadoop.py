@@ -11,14 +11,13 @@ from repro.apps.hadoop import (
     generate_graph,
     generate_terasort_records,
     generate_text,
-    generate_uservisits,
     pagerank_job,
     terasort_job,
     uservisits_job,
     wordcount_job,
 )
 from repro.apps.hadoop.benchmarks import pack_clicks, unpack_clicks
-from repro.apps.hadoop.job import Counters, JobSpec
+from repro.apps.hadoop.job import Counters
 
 
 def chop(data, n=4):

@@ -10,7 +10,6 @@ from repro.apps.mlgrad import (
     encode_vector,
     local_gradient,
     make_regression_data,
-    mse,
     netagg_aggregator,
     train,
 )

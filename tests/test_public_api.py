@@ -49,6 +49,10 @@ PACKAGES = [
     "repro.apps.hadoop",
     "repro.cluster",
     "repro.cost",
+    "repro.faults",
+    "repro.faults.schedule",
+    "repro.faults.retry",
+    "repro.faults.inject",
     "repro.experiments",
 ]
 
@@ -62,7 +66,7 @@ EXPERIMENT_MODULES = [
     "fig22_hadoop_jobs", "fig23_hadoop_ratio", "fig24_hadoop_datasize",
     "fig25_fair_fixed", "fig26_fair_adaptive", "tab01_loc",
     "ablation_trees", "ablation_placement", "ablation_streaming",
-    "ablation_routing", "ablation_multicast",
+    "ablation_routing", "ablation_multicast", "fig_failures",
 ]
 
 
@@ -75,7 +79,7 @@ def test_imports(package):
 @pytest.mark.parametrize("package", [
     "repro", "repro.netsim", "repro.topology", "repro.workload",
     "repro.aggregation", "repro.core", "repro.aggbox", "repro.wire",
-    "repro.cluster", "repro.cost", "repro.experiments",
+    "repro.cluster", "repro.cost", "repro.faults", "repro.experiments",
 ])
 def test_dunder_all_resolves(package):
     module = importlib.import_module(package)
@@ -92,6 +96,25 @@ def test_experiment_modules_expose_run_and_main(name):
 
 def test_version():
     assert repro.__version__
+
+
+def test_fault_api_at_top_level():
+    """The fault-injection layer is re-exported from the root package."""
+    from repro import (
+        EmulatorFaultInjector,
+        FaultEvent,
+        FaultSchedule,
+        PlatformFaultInjector,
+        RetryPolicy,
+        SimFaultInjector,
+    )
+
+    schedule = FaultSchedule([FaultEvent(1.0, "box-crash", "box:tor:0:0")])
+    assert len(schedule) == 1
+    assert RetryPolicy().max_attempts >= 1
+    for injector in (SimFaultInjector, PlatformFaultInjector,
+                     EmulatorFaultInjector):
+        assert callable(injector)
 
 
 def test_paper_scale_topology_builds():

@@ -11,7 +11,6 @@ from repro.apps.solr import (
 from repro.apps.solr.corpus import Document
 from repro.apps.solr.index import InvertedIndex
 from repro.apps.solr.query import (
-    ParsedQuery,
     QuerySyntaxError,
     allowed_documents,
     parse_query,

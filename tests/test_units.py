@@ -1,7 +1,5 @@
 """Tests for repro.units."""
 
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
