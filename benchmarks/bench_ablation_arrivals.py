@@ -1,16 +1,18 @@
 """Ablation: NetAgg under different flow arrival patterns.
 
-Regenerates the experiment and prints the series.  Run with
-``pytest benchmarks/ --benchmark-only``.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import BENCH
-from repro.experiments import ablation_arrivals as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_ablation_arrivals(benchmark):
+    exp = load("ablation_arrivals")
     result = benchmark.pedantic(
-        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

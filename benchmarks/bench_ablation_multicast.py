@@ -1,15 +1,18 @@
 """Extension: on-path multicast vs unicast fan-out.
 
-Regenerates the experiment and prints the series.  Run with
-``pytest benchmarks/ --benchmark-only``.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import ablation_multicast as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_ablation_multicast(benchmark):
+    exp = load("ablation_multicast")
     result = benchmark.pedantic(
-        lambda: experiment.run(), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

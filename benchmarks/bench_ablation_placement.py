@@ -1,17 +1,18 @@
 """Ablation: locality-aware vs random placement.
 
-Regenerates the experiment at BENCH scale and prints the series.  Run
-with ``pytest benchmarks/ --benchmark-only``; pass DEFAULT/PAPER scales
-through the module's ``main()`` for full-fidelity numbers.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import BENCH
-from repro.experiments import ablation_placement as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_ablation_placement(benchmark):
+    exp = load("ablation_placement")
     result = benchmark.pedantic(
-        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

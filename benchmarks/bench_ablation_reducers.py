@@ -1,15 +1,18 @@
 """Ablation: NetAgg's Hadoop speed-up vs reducer count.
 
-Regenerates the experiment and prints the series.  Run with
-``pytest benchmarks/ --benchmark-only``.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import ablation_reducers as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_ablation_reducers(benchmark):
+    exp = load("ablation_reducers")
     result = benchmark.pedantic(
-        lambda: experiment.run(), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

@@ -1,17 +1,18 @@
 """Fig. 6: CDF of FCT, all traffic.
 
-Regenerates the experiment at BENCH scale and prints the series.  Run
-with ``pytest benchmarks/ --benchmark-only``; pass DEFAULT/PAPER scales
-through the module's ``main()`` for full-fidelity numbers.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import BENCH
-from repro.experiments import fig06_fct_cdf as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_fig06_fct_cdf(benchmark):
+    exp = load("fig06_fct_cdf")
     result = benchmark.pedantic(
-        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

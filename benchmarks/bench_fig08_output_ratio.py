@@ -1,17 +1,18 @@
 """Fig. 8: relative FCT vs output ratio alpha.
 
-Regenerates the experiment at BENCH scale and prints the series.  Run
-with ``pytest benchmarks/ --benchmark-only``; pass DEFAULT/PAPER scales
-through the module's ``main()`` for full-fidelity numbers.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import BENCH
-from repro.experiments import fig08_output_ratio as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_fig08_output_ratio(benchmark):
+    exp = load("fig08_output_ratio")
     result = benchmark.pedantic(
-        lambda: experiment.run(scale=BENCH), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

@@ -1,15 +1,18 @@
 """Fig. 15: local aggregation tree throughput.
 
-Regenerates the experiment and prints the series.  Run with
-``pytest benchmarks/ --benchmark-only``.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import fig15_localtree as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_fig15_localtree(benchmark):
+    exp = load("fig15_localtree")
     result = benchmark.pedantic(
-        lambda: experiment.run(), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

@@ -1,15 +1,18 @@
 """Fig. 16: Solr throughput vs clients.
 
-Regenerates the experiment and prints the series.  Run with
-``pytest benchmarks/ --benchmark-only``.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import fig16_solr_throughput as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_fig16_solr_throughput(benchmark):
+    exp = load("fig16_solr_throughput")
     result = benchmark.pedantic(
-        lambda: experiment.run(), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

@@ -1,15 +1,18 @@
 """Fig. 22: Hadoop benchmark jobs.
 
-Regenerates the experiment and prints the series.  Run with
-``pytest benchmarks/ --benchmark-only``.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import fig22_hadoop_jobs as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_fig22_hadoop_jobs(benchmark):
+    exp = load("fig22_hadoop_jobs")
     result = benchmark.pedantic(
-        lambda: experiment.run(), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

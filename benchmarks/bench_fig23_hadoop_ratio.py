@@ -1,15 +1,18 @@
 """Fig. 23: Hadoop WC vs output ratio.
 
-Regenerates the experiment and prints the series.  Run with
-``pytest benchmarks/ --benchmark-only``.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import fig23_hadoop_ratio as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_fig23_hadoop_ratio(benchmark):
+    exp = load("fig23_hadoop_ratio")
     result = benchmark.pedantic(
-        lambda: experiment.run(), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

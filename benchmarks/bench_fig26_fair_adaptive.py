@@ -1,15 +1,18 @@
 """Fig. 26: adaptive WFQ CPU sharing.
 
-Regenerates the experiment and prints the series.  Run with
-``pytest benchmarks/ --benchmark-only``.
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
 """
 
-from repro.experiments import fig26_fair_adaptive as experiment
+from repro.experiments import BENCH, load
 
 
 def bench_fig26_fair_adaptive(benchmark):
+    exp = load("fig26_fair_adaptive")
     result = benchmark.pedantic(
-        lambda: experiment.run(), rounds=1, iterations=1
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
     )
     assert result.rows
     print()

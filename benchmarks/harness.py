@@ -1,0 +1,34 @@
+"""Standalone entry point for the benchmark harness.
+
+Times every experiment ``benchmarks/bench_*.py`` covers (via the
+registry) and writes ``BENCH_netsim.json``::
+
+    PYTHONPATH=src python benchmarks/harness.py
+    PYTHONPATH=src python benchmarks/harness.py --scale quick --profile
+
+Equivalent to ``python -m repro bench``; see :mod:`repro.bench`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import SCALES, run_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_netsim.json")
+    parser.add_argument("--only", nargs="*", metavar="EXPERIMENT")
+    parser.add_argument("--profile", action="store_true")
+    args = parser.parse_args(argv)
+    return run_bench(scale_name=args.scale, out=args.out,
+                     names=args.only or None, seed=args.seed,
+                     profile=args.profile)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

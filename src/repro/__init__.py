@@ -43,4 +43,20 @@ __all__ = [
     "Gbps", "Mbps", "KB", "MB", "GB", "__version__",
     "FaultSchedule", "FaultEvent", "RetryPolicy",
     "SimFaultInjector", "PlatformFaultInjector", "EmulatorFaultInjector",
+    "simulate", "SimScale", "QUICK", "BENCH", "DEFAULT", "PAPER",
 ]
+
+_EXPERIMENT_EXPORTS = {
+    "simulate", "SimScale", "QUICK", "BENCH", "DEFAULT", "PAPER",
+}
+
+
+def __getattr__(name: str):
+    # The experiment runner and scale presets are re-exported lazily:
+    # importing them eagerly would pull the whole simulator stack (and
+    # its strategy modules, which import this package) at import time.
+    if name in _EXPERIMENT_EXPORTS:
+        import repro.experiments as experiments
+
+        return getattr(experiments, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,175 @@
+"""Benchmark harness: time every experiment and record the trajectory.
+
+Runs each experiment in the registry (the same set ``benchmarks/``
+covers) at one scale and writes ``BENCH_netsim.json``::
+
+    python -m repro bench                    # BENCH scale
+    python -m repro bench --scale quick      # CI smoke run
+    python -m repro bench --only fig06 fig09
+    python -m repro bench --profile          # cProfile the slowest one
+
+Per experiment the harness records wall time, simulator events and
+events/sec, incremental-solver call counts, and the process's peak RSS
+high-water mark (``resource.getrusage``; the value is cumulative over
+the process, so per-experiment numbers are upper bounds).  The file
+also re-times ``fig06`` at ``DEFAULT`` scale against the recorded
+pre-optimisation baseline, so solver regressions show up as a falling
+``fig06_speedup`` in review.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pathlib
+import pstats
+import resource
+import sys
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import DEFAULT, MODULES, SimScale, load, resolve
+from repro.experiments.common import BENCH, PAPER, QUICK
+from repro.netsim.simulator import COUNTERS
+
+SCALES: Dict[str, SimScale] = {
+    "quick": QUICK, "bench": BENCH, "default": DEFAULT, "paper": PAPER,
+}
+
+#: Wall time of ``fig06`` at ``DEFAULT`` scale before the incremental
+#: solver landed (commit 1b25238, from-scratch max-min at every event).
+#: The acceptance bar for the solver rework is >= 3x over this.
+BASELINE = {"fig06_default_seconds": 9.157, "commit": "1b25238"}
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KB (ru_maxrss is KB on Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def bench_targets(names: Optional[Sequence[str]] = None) -> List[str]:
+    """Experiments to time: ``benchmarks/bench_*.py`` coverage, which
+    mirrors the registry; falls back to the registry when the
+    ``benchmarks/`` tree is not present (installed package)."""
+    if names:
+        return [resolve(name) for name in names]
+    bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    found = sorted(
+        path.stem[len("bench_"):]
+        for path in bench_dir.glob("bench_*.py")
+    ) if bench_dir.is_dir() else []
+    covered = [name for name in MODULES if name in set(found)]
+    return covered or list(MODULES)
+
+
+def time_experiment(name: str, scale: SimScale, seed: int = 1,
+                    ) -> Dict[str, object]:
+    """Run one experiment and return its timing record."""
+    record: Dict[str, object] = {"experiment": name, "scale": scale.name}
+    try:
+        exp = load(name)
+        COUNTERS.reset()
+        started = time.perf_counter()
+        result = exp.run(scale=scale, seed=seed)
+        elapsed = time.perf_counter() - started
+        counters = COUNTERS.snapshot()
+        record.update(
+            ok=True,
+            seconds=round(elapsed, 4),
+            rows=len(result.rows),
+            events=counters["events"],
+            events_per_sec=round(counters["events"] / elapsed, 1)
+            if elapsed > 0 else 0.0,
+            solver_calls=counters["solver_calls"],
+            solver_cache_hits=counters["solver_cache_hits"],
+            flows_resolved=counters["flows_resolved"],
+            flows_reused=counters["flows_reused"],
+            peak_rss_kb=_peak_rss_kb(),
+        )
+    except Exception as exc:  # noqa: BLE001 - harness must survive
+        record.update(
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            trace=traceback.format_exc(limit=5),
+        )
+    return record
+
+
+def _time_fig06_default(seed: int = 1) -> float:
+    """The acceptance metric: fig06 wall time at DEFAULT scale."""
+    exp = load("fig06_fct_cdf")
+    started = time.perf_counter()
+    exp.run(scale=DEFAULT, seed=seed)
+    return time.perf_counter() - started
+
+
+def _profile_experiment(name: str, scale: SimScale, out: str,
+                        seed: int = 1) -> str:
+    exp = load(name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    exp.run(scale=scale, seed=seed)
+    profiler.disable()
+    profiler.dump_stats(out)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(15)
+    return buf.getvalue()
+
+
+def run_bench(scale_name: str = "bench", out: str = "BENCH_netsim.json",
+              names: Optional[Sequence[str]] = None, seed: int = 1,
+              profile: bool = False) -> int:
+    """Time the catalogue, write ``out``, return a process exit code.
+
+    Non-zero when any experiment errors (CI fails on regressions).
+    """
+    scale = SCALES[scale_name]
+    targets = bench_targets(names)
+    results = []
+    for name in targets:
+        print(f"bench {name} (scale={scale.name}) ...", file=sys.stderr)
+        record = time_experiment(name, scale, seed=seed)
+        if record["ok"]:
+            print(f"  {record['seconds']:.3f}s  "
+                  f"{record['events_per_sec']:,} events/s  "
+                  f"rss {record['peak_rss_kb']:,} KB", file=sys.stderr)
+        else:
+            print(f"  FAILED: {record['error']}", file=sys.stderr)
+        results.append(record)
+
+    fig06_seconds = _time_fig06_default(seed=seed)
+    payload = {
+        "schema": 1,
+        "scale": scale.name,
+        "seed": seed,
+        "baseline": dict(BASELINE),
+        "fig06_default_seconds": round(fig06_seconds, 3),
+        "fig06_speedup": round(
+            BASELINE["fig06_default_seconds"] / fig06_seconds, 2),
+        "results": results,
+    }
+    pathlib.Path(out).write_text(json.dumps(payload, indent=2) + "\n",
+                                 encoding="utf-8")
+    failures = [r["experiment"] for r in results if not r["ok"]]
+    ok_count = len(results) - len(failures)
+    print(f"wrote {out}: {ok_count}/{len(results)} ok, "
+          f"fig06 default {fig06_seconds:.3f}s "
+          f"({payload['fig06_speedup']}x vs baseline)", file=sys.stderr)
+
+    if profile:
+        timed = [r for r in results if r["ok"]]
+        if timed:
+            slowest = max(timed, key=lambda r: r["seconds"])
+            prof_out = str(pathlib.Path(out).with_suffix(".prof"))
+            print(f"profiling {slowest['experiment']} -> {prof_out}",
+                  file=sys.stderr)
+            print(_profile_experiment(slowest["experiment"], scale,
+                                      prof_out, seed=seed))
+    if failures:
+        print(f"failed experiments: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0

@@ -6,59 +6,37 @@ Usage (after ``pip install -e .``)::
     python -m repro run fig08 --scale bench
     python -m repro run fig22
     python -m repro run all --scale quick --out results.txt
+    python -m repro run fig09 --out results.json   # JSON, round-trips
+    python -m repro bench --scale quick
     python -m repro info
 
 Experiment names accept the short form (``fig08``) or the full module
-name (``fig08_output_ratio``).
+name (``fig08_output_ratio``).  Every experiment goes through the
+registry in :mod:`repro.experiments` and the canonical
+``run(scale=..., seed=...)`` entry point.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
+import json
 import sys
 import time
-from typing import List, Optional, TextIO
+from typing import List, Optional, TextIO, Tuple
 
-from repro.experiments import BENCH, DEFAULT, PAPER, QUICK, SimScale
+import repro.experiments as experiments
+from repro.experiments import (
+    BENCH,
+    DEFAULT,
+    PAPER,
+    QUICK,
+    ExperimentResult,
+    SimScale,
+)
 
-#: Ordered registry of experiment modules.
-EXPERIMENTS = [
-    "fig02_processing_rate",
-    "fig03_cost",
-    "fig06_fct_cdf",
-    "fig07_nonagg_cdf",
-    "fig08_output_ratio",
-    "fig09_link_traffic",
-    "fig10_agg_fraction",
-    "fig11_oversub",
-    "fig12_partial",
-    "fig13_10g_scaleout",
-    "fig14_stragglers",
-    "fig15_localtree",
-    "fig16_solr_throughput",
-    "fig17_solr_latency",
-    "fig18_solr_ratio",
-    "fig19_solr_tworack",
-    "fig20_solr_scaleout",
-    "fig21_solr_scaleup",
-    "fig22_hadoop_jobs",
-    "fig23_hadoop_ratio",
-    "fig24_hadoop_datasize",
-    "fig25_fair_fixed",
-    "fig26_fair_adaptive",
-    "tab01_loc",
-    "ablation_trees",
-    "ablation_placement",
-    "ablation_streaming",
-    "ablation_routing",
-    "ablation_multicast",
-    "ablation_reducers",
-    "ablation_colocation",
-    "ablation_fattree",
-    "ablation_arrivals",
-    "fig_failures",
-]
+#: Ordered experiment catalogue (kept as an alias of the registry's
+#: module list for back-compat with older scripts).
+EXPERIMENTS = experiments.MODULES
 
 SCALES = {
     "quick": QUICK,
@@ -67,59 +45,39 @@ SCALES = {
     "paper": PAPER,
 }
 
-#: Modules whose run() takes a simulation scale.
-_SCALED = {name for name in EXPERIMENTS
-           if name.startswith(("fig0", "fig1")) and not name.startswith(
-               ("fig15", "fig16", "fig17", "fig18", "fig19"))} | {
-    "ablation_trees", "ablation_placement", "ablation_routing",
-    "ablation_arrivals", "fig_failures",
-}
-
 
 def resolve(name: str) -> str:
     """Map a short name (fig08, tab01) to its module name."""
-    if name in EXPERIMENTS:
-        return name
-    matches = [m for m in EXPERIMENTS if m.startswith(name)]
-    if len(matches) == 1:
-        return matches[0]
-    if not matches:
+    try:
+        return experiments.resolve(name)
+    except KeyError:
         raise SystemExit(
             f"unknown experiment {name!r}; try 'python -m repro list'"
-        )
-    raise SystemExit(f"ambiguous experiment {name!r}: {matches}")
+        ) from None
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def run_experiment(name: str, scale: SimScale, seed: int,
-                   out: TextIO, plot: bool = False) -> float:
-    """Run one experiment; returns elapsed seconds."""
-    module = importlib.import_module(f"repro.experiments.{name}")
+                   ) -> Tuple[ExperimentResult, float]:
+    """Run one experiment via the registry; returns (result, seconds)."""
+    exp = experiments.load(name)
     started = time.time()
-    if name in _SCALED:
-        result = module.run(scale=scale, seed=seed)
-    else:
-        result = module.run()
-    elapsed = time.time() - started
-    print(result.to_text(), file=out)
-    if plot:
-        from repro.report import summarise
-
-        print(summarise(result), file=out)
-    print(f"[{elapsed:.1f}s]\n", file=out)
-    return elapsed
+    result = exp.run(scale=scale, seed=seed)
+    return result, time.time() - started
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
-    for name in EXPERIMENTS:
-        module = importlib.import_module(f"repro.experiments.{name}")
-        doc = (module.__doc__ or "").strip().splitlines()
-        summary = doc[0] if doc else ""
-        print(f"{name:26s} {summary}")
+    for exp in experiments.all_experiments():
+        print(f"{exp.module:26s} {exp.summary}")
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     scale = SCALES[args.scale]
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [resolve(args.experiment)]
+    as_json = bool(args.out) and args.out.endswith(".json")
     out: TextIO
     close = False
     if args.out:
@@ -128,20 +86,39 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         out = sys.stdout
     try:
-        names = EXPERIMENTS if args.experiment == "all" \
-            else [resolve(args.experiment)]
         total = 0.0
+        collected = []
         for name in names:
             print(f"running {name} (scale={args.scale}) ...",
                   file=sys.stderr)
-            total += run_experiment(name, scale, args.seed, out,
-                                    plot=args.plot)
+            result, elapsed = run_experiment(name, scale, args.seed)
+            total += elapsed
+            if as_json:
+                collected.append(result.to_dict())
+                continue
+            print(result.to_text(), file=out)
+            if args.plot:
+                from repro.report import summarise
+
+                print(summarise(result), file=out)
+            print(f"[{elapsed:.1f}s]\n", file=out)
+        if as_json:
+            json.dump(collected, out, indent=2)
+            out.write("\n")
         print(f"done: {len(names)} experiment(s) in {total:.1f}s",
               file=sys.stderr)
     finally:
         if close:
             out.close()
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench
+
+    return run_bench(scale_name=args.scale, out=args.out,
+                     names=args.only or None, seed=args.seed,
+                     profile=args.profile)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -244,10 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", choices=sorted(SCALES), default="bench",
                      help="simulation scale (default: bench)")
     run.add_argument("--seed", type=int, default=1)
-    run.add_argument("--out", help="write tables to a file")
+    run.add_argument("--out",
+                     help="write results to a file (*.json serialises "
+                          "via ExperimentResult.to_json)")
     run.add_argument("--plot", action="store_true",
                      help="append sparkline summaries to the tables")
     run.set_defaults(func=cmd_run)
+
+    bench = sub.add_parser(
+        "bench", help="time every experiment, write BENCH_netsim.json")
+    bench.add_argument("--scale", choices=sorted(SCALES), default="bench",
+                       help="simulation scale (default: bench)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--out", default="BENCH_netsim.json",
+                       help="output JSON path (default: BENCH_netsim.json)")
+    bench.add_argument("--only", nargs="*", metavar="EXPERIMENT",
+                       help="restrict to these experiments")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile the slowest experiment "
+                            "(dumps <out>.prof)")
+    bench.set_defaults(func=cmd_bench)
 
     trace = sub.add_parser("trace",
                            help="generate or inspect workload traces")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.aggregation import NetAggStrategy, RackLevelStrategy, deploy_boxes
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import relative_p99
 
 ARRIVALS = (
@@ -23,6 +24,7 @@ ARRIVALS = (
 )
 
 
+@register("ablation_arrivals")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="ablation-arrivals",

@@ -19,7 +19,13 @@ from typing import Dict
 from repro.aggbox.box import AppBinding
 from repro.aggbox.functions import SumFunction
 from repro.aggbox.timed import TimedAggBox
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.netsim.engine import EventQueue
 from repro.units import percentile
 from repro.wire.serializer import read_float, write_float
@@ -84,7 +90,18 @@ def _drive(adaptive: bool, duration: float, cores: int,
     return out
 
 
-def run(duration: float = 20.0, cores: int = 4) -> ExperimentResult:
+_QUICK = dict(duration=10.0)
+
+
+@register("ablation_colocation")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("ablation_colocation.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(duration: float = 20.0, cores: int = 4) -> ExperimentResult:
     result = ExperimentResult(
         experiment="ablation-colocation",
         description="co-located merge latency: fixed vs adaptive WFQ",

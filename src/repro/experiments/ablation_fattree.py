@@ -11,7 +11,13 @@ fabric.
 from __future__ import annotations
 
 from repro.aggregation import NetAggStrategy, RackLevelStrategy
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.netsim.metrics import fct_summary, relative_p99
 from repro.netsim.simulator import FlowSim
 from repro.topology import fat_tree
@@ -35,8 +41,20 @@ def _workload_params(n_trees: int) -> WorkloadParams:
     )
 
 
-def run(k: int = 8, tree_counts=TREE_COUNTS,
-        seed: int = 1) -> ExperimentResult:
+_QUICK = dict(k=4, tree_counts=(1, 2))
+
+
+@register("ablation_fattree")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("ablation_fattree.run", _sweep,
+                            {"seed": seed, **knobs})
+    return _sweep(seed=seed, **(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(k: int = 8, tree_counts=TREE_COUNTS,
+           seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="ablation-fattree",
         description=f"NetAgg on a k={k} fat-tree: 99th-pct FCT relative "

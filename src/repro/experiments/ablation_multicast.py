@@ -16,7 +16,13 @@ from repro.core.multicast import (
     plan_multicast_flows,
     plan_unicast_flows,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.netsim.simulator import FlowSim
 from repro.topology.threetier import ThreeTierParams, three_tier
 from repro.units import MB
@@ -24,8 +30,19 @@ from repro.units import MB
 RECEIVER_COUNTS = (4, 8, 16, 32)
 
 
-def run(receiver_counts=RECEIVER_COUNTS,
-        payload_mb: float = 20.0) -> ExperimentResult:
+_QUICK = dict(receiver_counts=(4, 16))
+
+
+@register("ablation_multicast")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("ablation_multicast.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(receiver_counts=RECEIVER_COUNTS,
+           payload_mb: float = 20.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment="ablation-multicast",
         description=f"broadcasting {payload_mb:.0f} MB to N receivers: "

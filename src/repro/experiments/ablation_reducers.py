@@ -10,15 +10,32 @@ from __future__ import annotations
 
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.hadoop_driver import HadoopEmulation, JobProfile
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.units import GB
 
 REDUCER_COUNTS = (1, 2, 4, 8)
 
 
-def run(reducer_counts=REDUCER_COUNTS, alpha: float = 0.10,
-        intermediate_bytes: float = 4 * GB,
-        config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
+_QUICK = dict(reducer_counts=(1, 4))
+
+
+@register("ablation_reducers")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("ablation_reducers.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(reducer_counts=REDUCER_COUNTS, alpha: float = 0.10,
+           intermediate_bytes: float = 4 * GB,
+           config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
     result = ExperimentResult(
         experiment="ablation-reducers",
         description="WordCount shuffle+reduce speed-up vs reducer count "

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from repro.aggregation import NetAggStrategy, RackLevelStrategy, deploy_boxes
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import fct_summary
 from repro.netsim.routing import EcmpRouter, SinglePathRouter
 
 
+@register("ablation_routing")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="ablation-routing",

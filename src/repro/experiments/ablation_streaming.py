@@ -11,16 +11,33 @@ and buffering.
 from __future__ import annotations
 
 from repro.aggbox.localtree import LocalTreeModel, TreeModelParams
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.units import MB, to_gbps
 
 #: Streaming granularities, fine to whole-input.
 CHUNK_SIZES = (64_000.0, 256_000.0, 1 * MB, 8 * MB)
 
 
-def run(chunk_sizes=CHUNK_SIZES, leaves: int = 32,
-        threads: int = 16, bytes_per_leaf: float = 8 * MB
-        ) -> ExperimentResult:
+_QUICK = dict(leaves=16, threads=8)
+
+
+@register("ablation_streaming")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("ablation_streaming.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(chunk_sizes=CHUNK_SIZES, leaves: int = 32,
+           threads: int = 16, bytes_per_leaf: float = 8 * MB
+           ) -> ExperimentResult:
     result = ExperimentResult(
         experiment="ablation-streaming",
         description="local-tree throughput (Gbps) vs streaming chunk size "

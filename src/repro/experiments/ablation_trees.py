@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from repro.aggregation import NetAggStrategy, RackLevelStrategy, deploy_boxes
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import fct_summary, relative_p99
 
 TREE_COUNTS = (1, 2, 4)
 
 
+@register("ablation_trees")
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         oversubscription: float = 8.0) -> ExperimentResult:
     result = ExperimentResult(

@@ -15,10 +15,13 @@ rack) is what makes rack-level aggregation's inbound bottleneck visible.
 
 from __future__ import annotations
 
+import json
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.aggregation.base import AggregationStrategy
+from repro.faults import FaultSchedule, SimFaultInjector
 from repro.netsim.routing import EcmpRouter
 from repro.netsim.simulator import FlowSim, SimulationResult
 from repro.topology.base import Topology
@@ -90,17 +93,50 @@ def simulate(
     seed: int = 1,
     stragglers: Optional[StragglerModel] = None,
     router: Optional[EcmpRouter] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> SimulationResult:
-    """Build topology, deploy boxes, generate workload, run one strategy."""
+    """Build topology, deploy boxes, generate workload, run one strategy.
+
+    Passing a :class:`repro.faults.FaultSchedule` wires the simulator
+    fault injector in uniformly: the strategy plans against the
+    injector's fault view (if it accepts one, e.g. ``NetAggStrategy``)
+    and the schedule's capacity/reroute events are applied to the run.
+    """
     topo = three_tier(scale.topo)
     if deploy is not None:
         deploy(topo)
+    injector = None
+    if faults is not None:
+        injector = SimFaultInjector(topo, faults)
+        # Fault-aware strategies expose a ``fault_view`` attribute read
+        # at plan time; only fill it in when the caller left it unset.
+        if hasattr(strategy, "fault_view") \
+                and getattr(strategy, "fault_view") is None:
+            strategy.fault_view = injector.fault_view
     workload = generate_workload(topo, scale.workload, seed=seed)
     if stragglers is not None:
         workload = inject_stragglers(workload, stragglers, seed=seed)
     sim = FlowSim(topo.network)
     sim.add_flows(strategy.plan(workload, topo, router))
+    if injector is not None:
+        injector.apply(sim, workload)
     return sim.run()
+
+
+def legacy_knobs(entry: str, sweep: Callable[..., "ExperimentResult"],
+                 knobs: Dict[str, object]) -> "ExperimentResult":
+    """Dispatch a deprecated ad-hoc-keyword call to a module's sweep.
+
+    Figure modules used to expose per-module tuning knobs directly on
+    ``run()`` (``run(clients=..., duration=...)``); the canonical
+    signature is now ``run(scale=..., seed=...)``.  Old call sites keep
+    working through this shim, with a :class:`DeprecationWarning`.
+    """
+    warnings.warn(
+        f"calling {entry} with ad-hoc keyword arguments is deprecated; "
+        "use run(scale=..., seed=...) with a SimScale preset",
+        DeprecationWarning, stacklevel=3)
+    return sweep(**knobs)
 
 
 @dataclass
@@ -141,6 +177,36 @@ class ExperimentResult:
         if self.notes:
             lines.append(f"note: {self.notes}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (JSON-ready)."""
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentResult":
+        result = cls(
+            experiment=data["experiment"],
+            description=data["description"],
+            columns=tuple(data["columns"]),
+            notes=data.get("notes", ""),
+        )
+        for row in data["rows"]:
+            result.add_row(**row)
+        return result
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise; round-trips through :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
 
 
 def _fmt(value: object) -> str:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.aggregation import NetAggStrategy, RackLevelStrategy, deploy_boxes
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import relative_p99
 from repro.units import Gbps
 
@@ -17,6 +18,7 @@ PROCESSING_RATES_GBPS = (2.0, 4.0, 6.0, 8.0, 10.0)
 OVERSUBSCRIPTIONS = (1.0, 4.0)
 
 
+@register("fig02")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig02",

@@ -12,11 +12,13 @@ from __future__ import annotations
 from repro.aggregation import NetAggStrategy, RackLevelStrategy, deploy_boxes
 from repro.cost.model import PriceList, netagg_cost, upgrade_cost
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import relative_p99
 from repro.topology.base import AGGR
 from repro.units import Gbps
 
 
+@register("fig03")
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         prices: PriceList = PriceList()) -> ExperimentResult:
     result = ExperimentResult(

@@ -18,6 +18,7 @@ from repro.aggregation import (
     deploy_boxes,
 )
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import fct_cdf
 
 STRATEGIES = (
@@ -41,6 +42,7 @@ def cdfs(scale: SimScale = DEFAULT, seed: int = 1,
     return out
 
 
+@register("fig06")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig06",

@@ -7,9 +7,11 @@ because shrinking the aggregatable traffic frees shared bandwidth.
 from __future__ import annotations
 
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.experiments.fig06_fct_cdf import FRACTIONS, STRATEGIES
 
 
+@register("fig07")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig07",

@@ -16,6 +16,7 @@ from repro.aggregation import (
     deploy_boxes,
 )
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import relative_p99
 
 ALPHAS = (0.05, 0.10, 0.25, 0.50, 0.75, 1.00)
@@ -26,6 +27,7 @@ STRATEGIES = (
 )
 
 
+@register("fig08")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig08",

@@ -16,6 +16,7 @@ from repro.aggregation import (
     deploy_boxes,
 )
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.units import MB, percentile
 
 STRATEGIES = (
@@ -26,6 +27,7 @@ STRATEGIES = (
 )
 
 
+@register("fig09")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig09",

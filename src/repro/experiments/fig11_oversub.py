@@ -15,6 +15,7 @@ from repro.aggregation import (
     deploy_boxes,
 )
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import relative_p99
 
 OVERSUBSCRIPTIONS = (1.0, 2.0, 4.0, 8.0, 16.0)
@@ -25,6 +26,7 @@ STRATEGIES = (
 )
 
 
+@register("fig11")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig11",

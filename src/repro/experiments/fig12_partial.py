@@ -16,6 +16,7 @@ from repro.aggregation import (
     deploy_boxes,
 )
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import relative_p99
 from repro.topology.base import AGGR, CORE, TOR
 
@@ -33,6 +34,7 @@ BUDGET_CONFIGS = (
 )
 
 
+@register("fig12")
 def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig12",

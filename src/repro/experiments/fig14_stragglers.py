@@ -9,12 +9,14 @@ from __future__ import annotations
 
 from repro.aggregation import NetAggStrategy, RackLevelStrategy, deploy_boxes
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
+from repro.experiments import register
 from repro.netsim.metrics import relative_p99
 from repro.workload.stragglers import StragglerModel
 
 STRAGGLER_RATIOS = (0.0, 0.05, 0.1, 0.2, 0.4)
 
 
+@register("fig14")
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         mean_delay: float = 0.5) -> ExperimentResult:
     result = ExperimentResult(

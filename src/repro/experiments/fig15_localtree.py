@@ -9,15 +9,33 @@ saturates near the 10 Gbps ingest with a large enough pool.
 from __future__ import annotations
 
 from repro.aggbox.localtree import LocalTreeModel, TreeModelParams
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.units import to_gbps
 
 LEAVES = (2, 4, 8, 16, 32, 64)
 THREADS = (8, 16, 24, 32)
 
+#: Reduced sweep used at ``quick`` scale (CI); other scales run the
+#: paper's full grid.
+_QUICK = dict(leaves=(4, 16, 64), threads=(8, 32))
 
-def run(leaves=LEAVES, threads=THREADS, alpha: float = 0.10
-        ) -> ExperimentResult:
+
+@register("fig15")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig15_localtree.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(leaves=LEAVES, threads=THREADS, alpha: float = 0.10
+           ) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig15",
         description="local aggregation tree throughput (Gbps) vs leaves",

@@ -9,13 +9,29 @@ from __future__ import annotations
 
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.solr_driver import SolrEmulation, SolrEmulationParams
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 
 CLIENTS = (5, 10, 20, 30, 50, 70)
 
+_QUICK = dict(clients=(10, 50), duration=5.0)
 
-def run(clients=CLIENTS, duration: float = 10.0,
-        config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
+
+@register("fig16")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig16_solr_throughput.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(clients=CLIENTS, duration: float = 10.0,
+           config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig16",
         description="Solr throughput (Gbps) vs clients, sample fn alpha=5%",

@@ -8,12 +8,28 @@ from __future__ import annotations
 
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.solr_driver import SolrEmulation, SolrEmulationParams
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.experiments.fig16_solr_throughput import CLIENTS
 
+_QUICK = dict(clients=(50,), duration=5.0)
 
-def run(clients=CLIENTS, duration: float = 10.0,
-        config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
+
+@register("fig17")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig17_solr_latency.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(clients=CLIENTS, duration: float = 10.0,
+           config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig17",
         description="Solr 99th-pct response latency (s) vs clients",

@@ -9,13 +9,29 @@ from __future__ import annotations
 
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.solr_driver import SolrEmulation, SolrEmulationParams
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 
 ALPHAS = (0.05, 0.10, 0.25, 0.50, 0.75, 1.00)
 
+_QUICK = dict(alphas=(0.05, 0.5, 1.0), duration=5.0)
 
-def run(alphas=ALPHAS, n_clients: int = 70, duration: float = 10.0,
-        config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
+
+@register("fig18")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig18_solr_ratio.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(alphas=ALPHAS, n_clients: int = 70, duration: float = 10.0,
+           config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig18",
         description="Solr throughput (Gbps) vs output ratio, 70 clients",

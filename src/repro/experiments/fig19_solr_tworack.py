@@ -9,13 +9,29 @@ from __future__ import annotations
 
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.solr_driver import SolrEmulation, SolrEmulationParams
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 
 BACKENDS_PER_RACK = (2, 4, 6, 8, 10)
 
+_QUICK = dict(backends=(4, 10), duration=5.0)
 
-def run(backends=BACKENDS_PER_RACK, duration: float = 10.0,
-        n_clients: int = 70) -> ExperimentResult:
+
+@register("fig19")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig19_solr_tworack.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(backends=BACKENDS_PER_RACK, duration: float = 10.0,
+           n_clients: int = 70) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig19",
         description="NetAgg throughput (Gbps) vs backends per rack",

@@ -9,13 +9,29 @@ from __future__ import annotations
 
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.solr_driver import SolrEmulation, SolrEmulationParams
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.aggbox.functions import CategoriseFunction
 
 CLIENTS = (10, 30, 50, 70, 90)
 
+_QUICK = dict(clients=(70,), duration=5.0)
 
-def run(clients=CLIENTS, duration: float = 10.0) -> ExperimentResult:
+
+@register("fig20")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig20_solr_scaleout.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(clients=CLIENTS, duration: float = 10.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig20",
         description="categorise throughput (Gbps): one vs two boxes "

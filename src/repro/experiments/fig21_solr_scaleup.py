@@ -10,13 +10,29 @@ from __future__ import annotations
 from repro.aggbox.functions import CategoriseFunction, SampleFunction
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.solr_driver import SolrEmulation, SolrEmulationParams
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 
 CORES = (2, 4, 8, 12, 16)
 
+_QUICK = dict(cores=(2, 4, 16), duration=5.0)
 
-def run(cores=CORES, n_clients: int = 70,
-        duration: float = 10.0) -> ExperimentResult:
+
+@register("fig21")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig21_solr_scaleup.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(cores=CORES, n_clients: int = 70,
+           duration: float = 10.0) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig21",
         description="agg box throughput (Gbps) vs CPU cores",

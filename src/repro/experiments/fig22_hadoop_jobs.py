@@ -30,7 +30,13 @@ from repro.cluster.hadoop_driver import (
     JobProfile,
     measure_job_profile,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.units import GB
 
 
@@ -55,8 +61,19 @@ def measure_profiles(seed: int = 1) -> List[JobProfile]:
     ]
 
 
-def run(intermediate_bytes: float = 2 * GB, seed: int = 1,
-        config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
+@register("fig22")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    # The five-benchmark sweep is already CI-fast; every scale runs the
+    # paper configuration.
+    if knobs:
+        return legacy_knobs("fig22_hadoop_jobs.run", _sweep,
+                            {"seed": seed, **knobs})
+    return _sweep(seed=seed)
+
+
+def _sweep(intermediate_bytes: float = 2 * GB, seed: int = 1,
+           config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig22",
         description="Hadoop shuffle+reduce time (relative to plain) and "

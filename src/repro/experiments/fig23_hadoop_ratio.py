@@ -13,17 +13,34 @@ from repro.apps.hadoop.benchmarks import wordcount_job
 from repro.apps.hadoop.data import generate_text
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.hadoop_driver import HadoopEmulation, measure_job_profile
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.experiments.fig22_hadoop_jobs import _splits
 from repro.units import GB
 
 #: Vocabulary sizes spanning high to low word repetition.
 VOCABULARIES = (20, 100, 500, 2500, 12500)
 
+_QUICK = dict(vocabularies=(20, 12500))
 
-def run(vocabularies=VOCABULARIES, intermediate_bytes: float = 2 * GB,
-        seed: int = 1, config: TestbedConfig = TestbedConfig()
-        ) -> ExperimentResult:
+
+@register("fig23")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig23_hadoop_ratio.run", _sweep,
+                            {"seed": seed, **knobs})
+    return _sweep(seed=seed, **(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(vocabularies=VOCABULARIES, intermediate_bytes: float = 2 * GB,
+           seed: int = 1, config: TestbedConfig = TestbedConfig()
+           ) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig23",
         description="WordCount shuffle+reduce vs measured output ratio",

@@ -9,14 +9,30 @@ from __future__ import annotations
 
 from repro.cluster.deployment import TestbedConfig
 from repro.cluster.hadoop_driver import HadoopEmulation, JobProfile
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 from repro.units import GB
 
 DATA_SIZES_GB = (2, 4, 8, 16)
 
+_QUICK = dict(sizes_gb=(2, 16))
 
-def run(sizes_gb=DATA_SIZES_GB, alpha: float = 0.10,
-        config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
+
+@register("fig24")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig24_hadoop_datasize.run", _sweep, knobs)
+    return _sweep(**(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(sizes_gb=DATA_SIZES_GB, alpha: float = 0.10,
+           config: TestbedConfig = TestbedConfig()) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig24",
         description="WordCount shuffle+reduce time (s) vs intermediate "

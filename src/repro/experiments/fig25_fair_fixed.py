@@ -9,14 +9,31 @@ Hadoop starves (the paper's motivation for the adaptive scheduler).
 from __future__ import annotations
 
 from repro.aggbox.scheduler import SchedulerParams, TaskScheduler, WorkloadSpec
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
 
 SOLR_TASK_SECONDS = 0.030
 HADOOP_TASK_SECONDS = 0.001
 
+_QUICK = dict(duration=20.0)
 
-def run(duration: float = 30.0, seed: int = 1,
-        adaptive: bool = False) -> ExperimentResult:
+
+@register("fig25")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig25_fair_fixed.run", _sweep,
+                            {"seed": seed, **knobs})
+    return _sweep(seed=seed, **(_QUICK if scale.name == "quick" else {}))
+
+
+def _sweep(duration: float = 30.0, seed: int = 1,
+           adaptive: bool = False) -> ExperimentResult:
     scheduler = TaskScheduler(
         [
             WorkloadSpec("solr", task_seconds=SOLR_TASK_SECONDS,

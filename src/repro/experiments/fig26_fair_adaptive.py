@@ -7,12 +7,27 @@ the 50/50 target despite the 30x task-length asymmetry.
 
 from __future__ import annotations
 
-from repro.experiments import fig25_fair_fixed
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import (
+    DEFAULT,
+    ExperimentResult,
+    SimScale,
+    legacy_knobs,
+)
+from repro.experiments.fig25_fair_fixed import _QUICK, _sweep
 
 
-def run(duration: float = 30.0, seed: int = 1) -> ExperimentResult:
-    return fig25_fair_fixed.run(duration=duration, seed=seed, adaptive=True)
+@register("fig26")
+def run(scale: SimScale = DEFAULT, seed: int = 1,
+        **knobs) -> ExperimentResult:
+    if knobs:
+        return legacy_knobs("fig26_fair_adaptive.run", _adaptive,
+                            {"seed": seed, **knobs})
+    return _adaptive(seed=seed, **(_QUICK if scale.name == "quick" else {}))
+
+
+def _adaptive(duration: float = 30.0, seed: int = 1) -> ExperimentResult:
+    return _sweep(duration=duration, seed=seed, adaptive=True)
 
 
 def main() -> None:

@@ -34,18 +34,17 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
+    simulate,
 )
+from repro.experiments import register
 from repro.faults import (
     BOX_CRASH,
     FaultSchedule,
     PlatformFaultInjector,
-    SimFaultInjector,
 )
 from repro.netsim.metrics import fct_summary
-from repro.netsim.simulator import FlowSim
 from repro.topology.threetier import three_tier
 from repro.wire.records import decode_search_results, encode_search_results
-from repro.workload.synthetic import generate_workload
 
 FAULT_RATES = (0.0, 0.1, 0.2, 0.4)
 
@@ -84,24 +83,20 @@ def _make_schedule(scale: SimScale, rate: float, horizon: float,
 
 def _run_arm(scale: SimScale, arm: str, seed: int,
              schedule: Optional[FaultSchedule]) -> tuple:
-    """(p99 FCT, simulated end time) of one strategy under the schedule."""
-    topo = three_tier(scale.topo)
+    """(p99 FCT, simulated end time) of one strategy under the schedule.
+
+    Fault wiring goes through ``simulate(faults=...)``: the runner
+    builds the injector, hands fault-aware strategies its fault view,
+    and applies the schedule's events to the simulation.
+    """
     if arm == "netagg":
-        deploy_boxes(topo)
-    injector = SimFaultInjector(topo, schedule) if schedule else None
-    if arm == "netagg":
-        strategy = NetAggStrategy(
-            fault_view=injector.fault_view if injector else None)
+        strategy, deploy = NetAggStrategy(), deploy_boxes
     elif arm == "edge":
-        strategy = BinaryTreeStrategy()
+        strategy, deploy = BinaryTreeStrategy(), None
     else:
-        strategy = NoAggregationStrategy()
-    workload = generate_workload(topo, scale.workload, seed=seed)
-    sim = FlowSim(topo.network)
-    sim.add_flows(strategy.plan(workload, topo))
-    if injector is not None:
-        injector.apply(sim, workload)
-    result = sim.run()
+        strategy, deploy = NoAggregationStrategy(), None
+    result = simulate(scale, strategy, deploy=deploy, seed=seed,
+                      faults=schedule)
     end = max(record.drain_time for record in result.records.values())
     return fct_summary(result).p99, end
 
@@ -134,6 +129,7 @@ def _check_exact(scale: SimScale, seed: int,
     return outcome.value == expected
 
 
+@register("fig_failures")
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         fault_rates=FAULT_RATES) -> ExperimentResult:
     result = ExperimentResult(

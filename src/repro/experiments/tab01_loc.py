@@ -12,7 +12,8 @@ import pathlib
 from typing import Dict, Tuple
 
 import repro
-from repro.experiments.common import ExperimentResult
+from repro.experiments import register
+from repro.experiments.common import DEFAULT, ExperimentResult, SimScale
 
 _REPO_SRC = pathlib.Path(repro.__file__).parent
 
@@ -68,7 +69,15 @@ def count_package(package: str) -> int:
     return total
 
 
-def run() -> ExperimentResult:
+@register("tab01")
+def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
+    # Line counting has no scale or randomness; both arguments exist
+    # only to satisfy the canonical experiment signature.
+    del scale, seed
+    return _count()
+
+
+def _count() -> ExperimentResult:
     result = ExperimentResult(
         experiment="tab01",
         description="lines of application-specific code",

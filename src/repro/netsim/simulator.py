@@ -36,12 +36,48 @@ layer (:mod:`repro.faults`) perturb a run deterministically:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.netsim.fairness import max_min_rates
+from repro.netsim.incremental import IncrementalMaxMin, SolverStats
 from repro.netsim.network import Network
 from repro.units import EPSILON
+
+
+@dataclass
+class SimCounters:
+    """Module-wide work counters, read by the benchmark harness.
+
+    ``reset()`` before a measured region, ``snapshot()`` after; every
+    :meth:`FlowSim.run` in between accumulates into these totals.
+    """
+
+    runs: int = 0     #: completed FlowSim.run() calls
+    flows: int = 0    #: flows simulated, summed over runs
+    events: int = 0   #: rate epochs (solver consultations), summed
+    solver: SolverStats = field(default_factory=SolverStats)
+
+    def reset(self) -> None:
+        self.runs = 0
+        self.flows = 0
+        self.events = 0
+        self.solver = SolverStats()
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "runs": self.runs,
+            "flows": self.flows,
+            "events": self.events,
+            "solver_calls": self.solver.solves,
+            "solver_cache_hits": self.solver.cache_hits,
+            "components_resolved": self.solver.components_resolved,
+            "flows_resolved": self.solver.flows_resolved,
+            "flows_reused": self.solver.flows_reused,
+        }
+
+
+#: Global counters; the bench harness resets/reads these around a run.
+COUNTERS = SimCounters()
 
 
 @dataclass(frozen=True)
@@ -236,9 +272,20 @@ class FlowSim:
             self.add_flow(spec)
 
     def run(self) -> SimulationResult:
-        """Run to completion and return per-flow records."""
+        """Run to completion and return per-flow records.
+
+        The hot path keeps one :class:`IncrementalMaxMin` solver alive
+        for the whole run: admissions, completions, capacity changes and
+        reroutes mutate its state, and each rate epoch re-solves only
+        the perturbed components.  Flows whose current path crosses a
+        down link are parked in ``stalled`` (and removed from the
+        solver) via a per-link index instead of a per-epoch scan.
+        """
         self._validate_dependencies()
+        COUNTERS.runs += 1
+        COUNTERS.flows += len(self._specs)
         capacities = dict(self._network.capacities())
+        solver = IncrementalMaxMin(capacities)
         #: Current path per flow; reroute events replace entries.
         paths: Dict[str, Tuple[str, ...]] = {
             flow_id: spec.path for flow_id, spec in self._specs.items()
@@ -273,6 +320,36 @@ class FlowSim:
         records: Dict[str, FlowRecord] = {}
         now = 0.0
 
+        #: Links currently at zero capacity, and the per-link index of
+        #: admitted-but-unfinished flows used to find who a capacity or
+        #: reroute event touches without scanning every active flow.
+        down_links: Set[str] = {
+            link_id for link_id, cap in capacities.items() if cap <= 0.0
+        }
+        link_flows: Dict[str, Set[str]] = {}
+        stalled: Set[str] = set()
+
+        def attach(flow_id: str) -> None:
+            """Register a transferring flow with the indexes + solver."""
+            path = paths[flow_id]
+            for link_id in set(path):
+                link_flows.setdefault(link_id, set()).add(flow_id)
+            if down_links and any(l in down_links for l in path):
+                stalled.add(flow_id)
+            else:
+                solver.add_flow(flow_id, path,
+                                rate_cap=self._specs[flow_id].rate_cap)
+
+        def detach(flow_id: str) -> None:
+            for link_id in set(paths[flow_id]):
+                users = link_flows.get(link_id)
+                if users is not None:
+                    users.discard(flow_id)
+            if flow_id in stalled:
+                stalled.discard(flow_id)
+            elif flow_id in solver:
+                solver.remove_flow(flow_id)
+
         def drain(flow_id: str, when: float, admitted: float) -> None:
             records[flow_id] = FlowRecord(
                 spec=self._specs[flow_id], drain_time=when,
@@ -299,10 +376,36 @@ class FlowSim:
                         admitted_time=admitted,
                     )
                     remaining[flow_id] = spec.size
+                    attach(flow_id)
 
         def apply_event(event: object) -> None:
             if isinstance(event, CapacityEvent):
-                capacities[event.link_id] = event.capacity
+                link_id = event.link_id
+                old = capacities[link_id]
+                if old == event.capacity:
+                    return
+                capacities[link_id] = event.capacity
+                solver.set_capacity(link_id, event.capacity)
+                if event.capacity <= 0.0 < old:
+                    down_links.add(link_id)
+                    # Flows crossing the downed link stall: they keep
+                    # their place but leave the rate solve.
+                    for fid in link_flows.get(link_id, ()):
+                        if fid not in stalled:
+                            stalled.add(fid)
+                            if fid in solver:
+                                solver.remove_flow(fid)
+                elif old <= 0.0 < event.capacity:
+                    down_links.discard(link_id)
+                    for fid in sorted(link_flows.get(link_id, ())):
+                        if fid in stalled and not any(
+                            l in down_links for l in paths[fid]
+                        ):
+                            stalled.discard(fid)
+                            solver.add_flow(
+                                fid, paths[fid],
+                                rate_cap=self._specs[fid].rate_cap,
+                            )
                 return
             assert isinstance(event, RerouteEvent)
             flow_id = event.flow_id
@@ -316,7 +419,11 @@ class FlowSim:
                     for link_id in paths[flow_id]:
                         self._network.account(link_id, delta)
                     accounted[flow_id] = moved
-            paths[flow_id] = event.path
+                detach(flow_id)
+                paths[flow_id] = event.path
+                attach(flow_id)
+            else:
+                paths[flow_id] = event.path
 
         while pending or remaining:
             if not remaining:
@@ -332,26 +439,15 @@ class FlowSim:
             if not remaining:
                 continue
 
-            # Flows crossing a down link are stalled: they keep their
-            # place but receive no rate until recovery or a reroute.
-            stalled = {
-                fid for fid in remaining
-                if any(capacities.get(l, 0.0) <= 0.0 for l in paths[fid])
-            }
-            flowing = {
-                fid: paths[fid] for fid in remaining if fid not in stalled
-            }
-            rates = max_min_rates(
-                flowing,
-                capacities,
-                {
-                    fid: self._specs[fid].rate_cap
-                    for fid in flowing
-                    if self._specs[fid].rate_cap is not None
-                },
-            ) if flowing else {}
+            # One incremental re-solve covers every admission,
+            # completion and fault event applied at this instant;
+            # untouched components come straight from the cache.
+            rates = solver.rates()
+            COUNTERS.events += 1
             dt_complete = float("inf")
-            for flow_id in flowing:
+            for flow_id in remaining:
+                if flow_id in stalled:
+                    continue
                 rate = rates[flow_id]
                 if rate == float("inf"):
                     dt_complete = 0.0
@@ -378,11 +474,13 @@ class FlowSim:
 
             now += dt
             finished: List[str] = []
-            for flow_id in flowing:
+            for flow_id in remaining:
+                if flow_id in stalled:
+                    continue
                 rate = rates[flow_id]
                 if rate == float("inf"):
                     remaining[flow_id] = 0.0
-                else:
+                elif rate > 0.0:
                     remaining[flow_id] -= rate * dt
                 if remaining[flow_id] <= EPSILON * max(
                     1.0, self._specs[flow_id].size
@@ -390,7 +488,9 @@ class FlowSim:
                     finished.append(flow_id)
             for flow_id in finished:
                 del remaining[flow_id]
+                detach(flow_id)
                 drain(flow_id, now, records[flow_id].admitted_time)
+        solver.stats.merge_into(COUNTERS.solver)
 
         if len(records) != len(self._specs):
             missing = sorted(set(self._specs) - set(records))

@@ -22,10 +22,12 @@ class TestResolve:
             cli.resolve("fig1")  # fig10..fig19
 
     def test_registry_matches_modules(self):
-        import importlib
+        from repro import experiments
 
         for name in cli.EXPERIMENTS:
-            importlib.import_module(f"repro.experiments.{name}")
+            exp = experiments.load(name)
+            assert exp.module == name
+            assert exp.summary
 
 
 class TestCommands:
@@ -68,18 +70,65 @@ class TestCommands:
         with pytest.raises(SystemExit):
             cli.main(["run", "nonsense"])
 
-    def test_scaled_set_is_consistent(self):
-        # Every scaled module must actually accept a scale kwarg.
-        import importlib
+    def test_run_writes_json(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments import ExperimentResult
+
+        target = tmp_path / "results.json"
+        assert cli.main(["run", "fig09", "--scale", "quick",
+                         "--out", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert isinstance(payload, list) and len(payload) == 1
+        result = ExperimentResult.from_dict(payload[0])
+        assert result.experiment == "fig09"
+        assert result.rows
+        # Round-trips through the JSON helpers.
+        again = ExperimentResult.from_json(result.to_json())
+        assert again.rows == result.rows
+
+    def test_every_experiment_has_canonical_signature(self):
+        # The whole catalogue accepts run(scale=..., seed=...).
         import inspect
 
-        for name in cli.EXPERIMENTS:
-            module = importlib.import_module(f"repro.experiments.{name}")
-            params = inspect.signature(module.run).parameters
-            if name in cli._SCALED:
-                assert "scale" in params, name
-            else:
-                assert "scale" not in params, name
+        from repro import experiments
+
+        for exp in experiments.all_experiments():
+            params = inspect.signature(exp.run).parameters
+            assert "scale" in params, exp.module
+            assert "seed" in params, exp.module
+
+
+class TestBench:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        assert cli.main(["bench", "--scale", "quick",
+                         "--only", "fig09", "tab01",
+                         "--out", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == 1
+        assert payload["baseline"]["fig06_default_seconds"] > 0
+        assert payload["fig06_speedup"] > 0
+        by_name = {r["experiment"]: r for r in payload["results"]}
+        assert set(by_name) == {"fig09_link_traffic", "tab01_loc"}
+        fig09 = by_name["fig09_link_traffic"]
+        assert fig09["ok"] and fig09["seconds"] >= 0
+        assert fig09["events"] > 0 and fig09["solver_calls"] > 0
+        assert fig09["peak_rss_kb"] > 0
+
+    def test_bench_reports_failures(self, tmp_path, monkeypatch, capsys):
+        from repro import bench
+
+        def boom(name, scale, seed=1):
+            return {"experiment": name, "scale": scale.name,
+                    "ok": False, "error": "RuntimeError: boom"}
+
+        monkeypatch.setattr(bench, "time_experiment", boom)
+        target = tmp_path / "bench.json"
+        assert bench.run_bench(scale_name="quick", out=str(target),
+                               names=["fig09"]) == 1
 
 
 class TestReplay:

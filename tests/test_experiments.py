@@ -120,42 +120,41 @@ class TestSimulationFigures:
 
 class TestTestbedFigures:
     def test_fig15_threads_raise_plateau(self):
-        result = fig15_localtree.run(leaves=(4, 16, 64), threads=(8, 32))
+        result = fig15_localtree.run(scale=QUICK)
         last = result.rows[-1]
         assert last["threads_32"] > last["threads_8"]
         first = result.rows[0]
         assert last["threads_32"] > first["threads_32"]
 
     def test_fig16_netagg_multiplies_throughput(self):
-        result = fig16_solr_throughput.run(clients=(10, 50), duration=5.0)
+        result = fig16_solr_throughput.run(scale=QUICK)
         last = result.rows[-1]
         assert last["netagg_gbps"] > 5 * last["solr_gbps"]
 
     def test_fig17_netagg_lower_latency(self):
-        result = fig17_solr_latency.run(clients=(50,), duration=5.0)
+        result = fig17_solr_latency.run(scale=QUICK)
         row = result.rows[0]
         assert row["netagg_p99_s"] < row["solr_p99_s"]
 
     def test_fig18_alpha_sweep_decreasing(self):
-        result = fig18_solr_ratio.run(alphas=(0.05, 0.5, 1.0),
-                                      duration=5.0)
+        result = fig18_solr_ratio.run(scale=QUICK)
         series = result.column("netagg_gbps")
         assert series[0] > series[1] > series[2] * 0.99
 
     def test_fig19_two_racks_double(self):
-        result = fig19_solr_tworack.run(backends=(4, 10), duration=5.0)
+        result = fig19_solr_tworack.run(scale=QUICK)
         for row in result.rows:
             assert row["two_racks_gbps"] == pytest.approx(
                 2 * row["one_rack_gbps"], rel=0.25
             )
 
     def test_fig20_second_box_doubles(self):
-        result = fig20_solr_scaleout.run(clients=(70,), duration=5.0)
+        result = fig20_solr_scaleout.run(scale=QUICK)
         row = result.rows[0]
         assert row["two_boxes_gbps"] > 1.6 * row["one_box_gbps"]
 
     def test_fig21_categorise_scales_sample_flat(self):
-        result = fig21_solr_scaleup.run(cores=(2, 4, 16), duration=5.0)
+        result = fig21_solr_scaleup.run(scale=QUICK)
         rows = {r["cores"]: r for r in result.rows}
         # Categorise is CPU-bound: near-linear core scaling.
         assert rows[16]["categorise_gbps"] > 3.0 * rows[2]["categorise_gbps"]
@@ -165,36 +164,36 @@ class TestTestbedFigures:
         )
 
     def test_fig22_job_character(self):
-        result = fig22_hadoop_jobs.run()
+        result = fig22_hadoop_jobs.run(scale=QUICK)
         rows = {r["job"]: r for r in result.rows}
         assert rows["WC"]["relative_srt"] < 0.5  # big win
         assert rows["TS"]["relative_srt"] == pytest.approx(1.0)  # none
         assert rows["AP"]["relative_srt"] > rows["UV"]["relative_srt"]
 
     def test_fig23_relative_srt_rises_with_alpha(self):
-        result = fig23_hadoop_ratio.run(vocabularies=(20, 12500))
+        result = fig23_hadoop_ratio.run(scale=QUICK)
         series = result.column("relative_srt")
         assert series[0] < series[-1]
         alphas = result.column("measured_alpha")
         assert alphas[0] < alphas[-1]
 
     def test_fig24_speedup_grows_with_data(self):
-        result = fig24_hadoop_datasize.run(sizes_gb=(2, 16))
+        result = fig24_hadoop_datasize.run(scale=QUICK)
         speedups = result.column("speedup")
         assert speedups[-1] > speedups[0] > 1.5
 
     def test_fig25_fixed_weights_starve(self):
-        result = fig25_fair_fixed.run(duration=20.0)
+        result = fig25_fair_fixed.run(scale=QUICK)
         assert "solr=0.9" in result.notes or float(
             result.notes.split("solr=")[1].split()[0]) > 0.85
 
     def test_fig26_adaptive_restores_fairness(self):
-        result = fig26_fair_adaptive.run(duration=20.0)
+        result = fig26_fair_adaptive.run(scale=QUICK)
         solr_share = float(result.notes.split("solr=")[1].split()[0])
         assert solr_share == pytest.approx(0.5, abs=0.08)
 
     def test_tab01_plugins_are_small(self):
-        result = tab01_loc.run()
+        result = tab01_loc.run(scale=QUICK)
         rows = [r for r in result.rows
                 if r["role"] == "box serialisation + wrapper"]
         assert rows
@@ -206,14 +205,14 @@ class TestExtraAblations:
     def test_fattree_more_trees_never_worse(self):
         from repro.experiments import ablation_fattree
 
-        result = ablation_fattree.run(k=4, tree_counts=(1, 2))
+        result = ablation_fattree.run(scale=QUICK)
         values = result.column("relative_p99")
         assert values[1] <= values[0] * 1.05
 
     def test_reducers_ablation_decays(self):
         from repro.experiments import ablation_reducers
 
-        result = ablation_reducers.run(reducer_counts=(1, 4))
+        result = ablation_reducers.run(scale=QUICK)
         speedups = result.column("speedup")
         assert speedups[0] > speedups[1] > 1.0
 
@@ -258,3 +257,20 @@ class TestFigFailures:
         a = fig_failures.run(scale=QUICK, seed=5, fault_rates=(0.2,))
         b = fig_failures.run(scale=QUICK, seed=5, fault_rates=(0.2,))
         assert a.rows == b.rows
+
+
+class TestLegacyEntrypoints:
+    def test_adhoc_kwargs_warn_and_still_run(self):
+        with pytest.warns(DeprecationWarning,
+                          match="fig16_solr_throughput.run"):
+            result = fig16_solr_throughput.run(clients=(10,), duration=5.0)
+        assert result.rows
+        assert all(row["clients"] == 10 for row in result.rows)
+
+    def test_canonical_call_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = tab01_loc.run(scale=QUICK)
+        assert result.rows

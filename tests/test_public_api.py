@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.netsim",
     "repro.netsim.engine",
     "repro.netsim.fairness",
+    "repro.netsim.incremental",
     "repro.netsim.network",
     "repro.netsim.routing",
     "repro.netsim.simulator",
@@ -54,6 +55,7 @@ PACKAGES = [
     "repro.faults.retry",
     "repro.faults.inject",
     "repro.experiments",
+    "repro.bench",
 ]
 
 EXPERIMENT_MODULES = [
@@ -92,6 +94,15 @@ def test_experiment_modules_expose_run_and_main(name):
     module = importlib.import_module(f"repro.experiments.{name}")
     assert callable(module.run)
     assert callable(module.main)
+
+
+def test_experiment_api_at_top_level():
+    """The experiment runner and scale presets re-export from the root."""
+    from repro import BENCH, DEFAULT, PAPER, QUICK, SimScale, simulate
+
+    for preset in (QUICK, BENCH, DEFAULT, PAPER):
+        assert isinstance(preset, SimScale)
+    assert callable(simulate)
 
 
 def test_version():

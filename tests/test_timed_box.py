@@ -6,7 +6,7 @@ from repro.aggbox.box import AppBinding
 from repro.aggbox.functions import SumFunction
 from repro.aggbox.scheduler import WfqExecutor
 from repro.aggbox.timed import TimedAggBox
-from repro.experiments import ablation_colocation
+from repro.experiments import QUICK, ablation_colocation
 from repro.netsim.engine import EventQueue
 from repro.wire.serializer import read_float, write_float
 
@@ -125,7 +125,7 @@ class TestTimedAggBox:
 
 class TestColocationAblation:
     def test_adaptive_rescues_batch_latency(self):
-        result = ablation_colocation.run(duration=10.0)
+        result = ablation_colocation.run(scale=QUICK)
         rows = {r["scheduler"]: r for r in result.rows}
         assert rows["fixed"]["batch_p99_ms"] > \
             20 * rows["adaptive"]["batch_p99_ms"]
