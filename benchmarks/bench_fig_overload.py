@@ -1,0 +1,19 @@
+"""fig_overload: goodput and p99 FCT vs offered load under overload.
+
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
+"""
+
+from repro.experiments import BENCH, load
+
+
+def bench_fig_overload(benchmark):
+    exp = load("fig_overload")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -12,10 +12,20 @@ over a thread pool with weighted-fair sharing between applications.
 - :mod:`repro.aggbox.scheduler` -- the cooperative task scheduler with
   fixed and adaptive weighted fair queuing (Figs. 25/26);
 - :mod:`repro.aggbox.box` -- the box runtime: application registration,
-  per-request partial-result collection, streaming deserialisation.
+  per-request partial-result collection, streaming deserialisation;
+- :mod:`repro.aggbox.overload` -- overload control: bounded pending
+  queues with watermarks, the box health state machine, load shedding.
 """
 
 from repro.aggbox.box import AggBoxRuntime, AppBinding, RequestState
+from repro.aggbox.overload import (
+    BoxHealth,
+    BoxHeartbeat,
+    BoxOverloadError,
+    BoxSpillError,
+    HealthTransition,
+    OverloadPolicy,
+)
 from repro.aggbox.isolation import (
     AggregationFault,
     AppQuarantined,
@@ -63,6 +73,12 @@ __all__ = [
     "AggBoxRuntime",
     "AppBinding",
     "RequestState",
+    "BoxHealth",
+    "BoxHeartbeat",
+    "BoxOverloadError",
+    "BoxSpillError",
+    "HealthTransition",
+    "OverloadPolicy",
     "GuardedFunction",
     "IsolationMonitor",
     "IsolationPolicy",

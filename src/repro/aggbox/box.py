@@ -19,6 +19,17 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.aggbox.functions import AggregationFunction
 from repro.aggbox.localtree import tree_aggregate
+from repro.aggbox.overload import (
+    HEALTHY,
+    REJECT_NEW,
+    SPILL,
+    BoxHealth,
+    BoxHeartbeat,
+    BoxOverloadError,
+    BoxSpillError,
+    HealthTransition,
+    OverloadPolicy,
+)
 from repro.wire.framing import ChunkReassembler
 
 
@@ -71,13 +82,85 @@ class AggregateReady:
 
 
 class AggBoxRuntime:
-    """Hosts aggregation functions and merges partial results."""
+    """Hosts aggregation functions and merges partial results.
 
-    def __init__(self, box_id: str) -> None:
+    Constructed with an :class:`repro.aggbox.overload.OverloadPolicy`,
+    the runtime bounds its per-app pending queues and runs the
+    :class:`repro.aggbox.overload.BoxHealth` state machine over them;
+    without one (the default) queues are unbounded and the box always
+    reports ``healthy``.  ``clock`` is the virtual time stamped onto
+    health transitions and heartbeats -- the hosting platform advances
+    it alongside its own clock.
+    """
+
+    def __init__(self, box_id: str,
+                 policy: Optional[OverloadPolicy] = None) -> None:
         self.box_id = box_id
+        self.clock = 0.0
         self._apps: Dict[str, AppBinding] = {}
         self._requests: Dict[tuple, RequestState] = {}
         self._reassemblers: Dict[tuple, ChunkReassembler] = {}
+        self._policy = policy
+        self._health = BoxHealth(policy) if policy is not None else None
+        #: Buffered (not yet folded) partials per app.
+        self._pending: Dict[str, int] = {}
+        #: Delta aggregates emitted by pressure-relief partial flushes;
+        #: the host drains these and forwards them upstream.
+        self._shed_outbox: List[AggregateReady] = []
+        self.sheds = 0     #: cumulative reject/spill decisions
+        self.flushes = 0   #: cumulative pressure-relief partial flushes
+
+    # -- overload control -----------------------------------------------------
+
+    @property
+    def policy(self) -> Optional[OverloadPolicy]:
+        return self._policy
+
+    @property
+    def health(self) -> str:
+        """Current health state (always ``healthy`` when unbounded)."""
+        return self._health.state if self._health is not None else HEALTHY
+
+    @property
+    def health_transitions(self) -> List[HealthTransition]:
+        return list(self._health.transitions) if self._health else []
+
+    def pending_count(self, app: Optional[str] = None) -> int:
+        """Buffered partials for ``app`` (or across all apps)."""
+        if app is not None:
+            return self._pending.get(app, 0)
+        return sum(self._pending.values())
+
+    def heartbeat(self, at: Optional[float] = None) -> BoxHeartbeat:
+        """The health report this box exports to the platform."""
+        return BoxHeartbeat(
+            box_id=self.box_id,
+            at=self.clock if at is None else at,
+            state=self.health,
+            pending=self.pending_count(),
+            max_pending=self._policy.max_pending if self._policy else 0,
+            sheds=self.sheds,
+            flushes=self.flushes,
+        )
+
+    def mark_failed(self) -> None:
+        """Drive the health machine into ``failed`` (box crash)."""
+        if self._health is not None:
+            self._health.fail(self.clock)
+
+    def mark_recovered(self) -> None:
+        if self._health is not None:
+            self._health.recover(self.clock)
+
+    def drain_shed(self) -> List[AggregateReady]:
+        """Delta aggregates produced by partial flushes since last drain.
+
+        The host must forward each upstream (with a fresh source tag --
+        deltas are *additional* inputs to the parent, not replacements).
+        """
+        out = self._shed_outbox
+        self._shed_outbox = []
+        return out
 
     # -- application management ---------------------------------------------
 
@@ -144,13 +227,25 @@ class AggBoxRuntime:
         Returns the aggregate when this partial completes the request.
         Re-submissions from already-processed sources are dropped (the
         failure-recovery protocol resends only unprocessed results).
+
+        With an :class:`OverloadPolicy`, a submit that would push the
+        app's pending queue past its bound triggers the shed policy:
+        ``reject-new``/``spill`` raise :class:`BoxOverloadError` /
+        :class:`BoxSpillError` (the partial is refused, the sender walks
+        its ladder), ``flush`` frees space by partially flushing the
+        most-loaded request into :meth:`drain_shed`.
         """
         self._binding(app)
         state = self._state(app, request_id)
         if source in state.processed_sources or source in state.sources:
             return None
+        if self._policy is not None and \
+                self._pending.get(app, 0) >= self._policy.max_pending:
+            self._shed(app, state)
         state.partials.append(value)
         state.sources.append(source)
+        self._pending[app] = self._pending.get(app, 0) + 1
+        self._observe(app)
         return self._maybe_emit(state)
 
     def submit_chunk(self, app: str, request_id: str, source: str,
@@ -205,7 +300,88 @@ class AggBoxRuntime:
         """
         return list(self._state(app, request_id).sources)
 
+    def relieve(self, app: str) -> Optional[AggregateReady]:
+        """Force one pressure-relief partial flush for ``app``.
+
+        The most-loaded pending request merges its buffered partials
+        into a *delta* aggregate (returned for upstream forwarding) and
+        its expected count drops by the partials folded, so the final
+        emission still fires when the remainder arrives.  Exactness is
+        preserved: folded sources move to the duplicate-suppression set.
+        Returns None when nothing is buffered.
+        """
+        state = self._most_loaded(app)
+        if state is None:
+            return None
+        return self._partial_flush(state)
+
     # -- internals -----------------------------------------------------------
+
+    def _shed(self, app: str, state: RequestState) -> None:
+        """Apply the shed policy for an over-bound submit into ``state``.
+
+        Raises to refuse the partial (``spill`` always; ``reject-new``
+        for requests with nothing accepted yet) or frees queue space via
+        a partial flush whose delta lands in the shed outbox.
+        """
+        policy = self._policy
+        if policy.shed == SPILL:
+            self.sheds += 1
+            raise BoxSpillError(self.box_id, app, state.request_id, SPILL)
+        if policy.shed == REJECT_NEW and not state.partials \
+                and not state.processed_sources:
+            self.sheds += 1
+            raise BoxOverloadError(self.box_id, app, state.request_id,
+                                   REJECT_NEW)
+        # FLUSH policy -- or an in-progress request under reject-new,
+        # which must not lose accepted partials: relieve pressure.
+        delta = self.relieve(app)
+        if delta is None:
+            raise BoxOverloadError(self.box_id, app, state.request_id,
+                                   policy.shed)
+        self._shed_outbox.append(delta)
+
+    def _most_loaded(self, app: str) -> Optional[RequestState]:
+        """The app's pending request holding the most partials."""
+        best: Optional[RequestState] = None
+        for (state_app, _rid), state in sorted(self._requests.items()):
+            if state_app != app or not state.partials:
+                continue
+            if best is None or len(state.partials) > len(best.partials):
+                best = state
+        return best
+
+    def _partial_flush(self, state: RequestState) -> AggregateReady:
+        """Emit buffered partials as a delta, freeing queue space.
+
+        Unlike :meth:`flush` this also reduces the expected count by the
+        partials folded, so the request still auto-completes (and the
+        ``emitted`` flag is untouched -- the request stays pending).
+        """
+        binding = self._binding(state.app)
+        value = tree_aggregate(binding.function, state.partials)
+        payload = binding.serialise(value)
+        flushed = len(state.partials)
+        state.processed_sources.extend(state.sources)
+        if state.expected is not None:
+            state.expected = max(0, state.expected - flushed)
+        state.partials = []
+        state.sources = []
+        self._pending[state.app] = self._pending.get(state.app, 0) - flushed
+        self.flushes += 1
+        self._observe(state.app)
+        return AggregateReady(
+            app=state.app,
+            request_id=state.request_id,
+            value=value,
+            payload=payload,
+            sources=list(state.processed_sources),
+        )
+
+    def _observe(self, app: str) -> None:
+        if self._health is not None:
+            worst = max(self._pending.values(), default=0)
+            self._health.observe(worst, at=self.clock)
 
     def _binding(self, app: str) -> AppBinding:
         binding = self._apps.get(app)
@@ -230,10 +406,13 @@ class AggBoxRuntime:
         binding = self._binding(state.app)
         value = tree_aggregate(binding.function, state.partials)
         payload = binding.serialise(value)
+        self._pending[state.app] = \
+            self._pending.get(state.app, 0) - len(state.partials)
         state.processed_sources.extend(state.sources)
         state.partials = []
         state.sources = []
         state.emitted = True
+        self._observe(state.app)
         return AggregateReady(
             app=state.app,
             request_id=state.request_id,

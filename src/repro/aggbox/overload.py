@@ -1,0 +1,232 @@
+"""Overload control at the agg box: bounded queues, health, shedding.
+
+NetAgg's failure story (§3.1) covers *crashes*; this module covers
+*saturation*.  An :class:`repro.aggbox.box.AggBoxRuntime` constructed
+with an :class:`OverloadPolicy` bounds how many partial results it will
+buffer per application, tracks a :class:`BoxHealth` state machine over
+high/low queue watermarks, and -- when the bound is hit -- applies one
+of three load-shedding policies, all of which preserve exactness via the
+runtime's duplicate-suppression sets:
+
+``reject-new``
+    Partials for *new* requests are refused with
+    :class:`BoxOverloadError` (the shim NACKs and walks its degradation
+    ladder); requests already in progress keep their buffered partials
+    and overflow falls back to a partial flush, so nothing accepted is
+    ever dropped.
+``spill``
+    Any overflow partial is refused with :class:`BoxSpillError`; the
+    sender re-targets the box's parent (spill-to-parent), keeping the
+    hot box's memory flat.
+``flush``
+    The most-loaded pending request is *partially flushed*: its buffered
+    partials merge into a delta aggregate that is emitted upstream
+    immediately (safe -- aggregation functions are associative and
+    commutative), freeing queue space for the new partial.
+
+Health states and legal transitions::
+
+            +-----------+      +-----------+      +----------+
+      ----->|  healthy  |<---->| pressured |<---->| shedding |
+            +-----------+      +-----------+      +----------+
+                  ^  \\_______________|__________________/
+                  |                  v (any state)
+                  |            +----------+
+                  +------------|  failed  |
+                    (recover)  +----------+
+
+``healthy -> pressured`` when pending crosses the high watermark,
+``pressured -> shedding`` when the queue is full (the shed policy is
+active only in this state), ``shedding -> pressured`` once the queue
+drains below the high watermark, ``pressured -> healthy`` below the low
+watermark.  ``failed`` is entered explicitly (crash) from any state and
+leaves only through ``recover``.  Every transition is recorded so chaos
+tests can assert legality, and exported via :class:`BoxHeartbeat` so
+the platform can re-plan trees away from pressured boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+HEALTHY = "healthy"
+PRESSURED = "pressured"
+SHEDDING = "shedding"
+FAILED = "failed"
+
+HEALTH_STATES = (HEALTHY, PRESSURED, SHEDDING, FAILED)
+
+#: state -> states it may legally transition to.
+LEGAL_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    HEALTHY: (PRESSURED, FAILED),
+    PRESSURED: (HEALTHY, SHEDDING, FAILED),
+    SHEDDING: (PRESSURED, FAILED),
+    FAILED: (HEALTHY,),
+}
+
+REJECT_NEW = "reject-new"
+SPILL = "spill"
+FLUSH = "flush"
+
+SHED_POLICIES = (REJECT_NEW, SPILL, FLUSH)
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Bounded-queue configuration of one agg box.
+
+    Attributes:
+        max_pending: per-app cap on buffered (not yet folded) partials.
+        high_watermark: fraction of ``max_pending`` above which the box
+            reports ``pressured`` (and returns there from ``shedding``).
+        low_watermark: fraction below which it returns to ``healthy``.
+        shed: policy applied when a submit would exceed ``max_pending``
+            (one of :data:`SHED_POLICIES`).
+    """
+
+    max_pending: int = 64
+    high_watermark: float = 0.75
+    low_watermark: float = 0.25
+    shed: str = REJECT_NEW
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if not 0.0 < self.low_watermark < self.high_watermark <= 1.0:
+            raise ValueError(
+                "need 0 < low_watermark < high_watermark <= 1 "
+                f"(got {self.low_watermark}, {self.high_watermark})"
+            )
+        if self.shed not in SHED_POLICIES:
+            raise ValueError(f"unknown shed policy {self.shed!r}")
+
+    @property
+    def high_pending(self) -> int:
+        return max(1, int(self.max_pending * self.high_watermark))
+
+    @property
+    def low_pending(self) -> int:
+        return max(0, int(self.max_pending * self.low_watermark))
+
+
+class BoxOverloadError(RuntimeError):
+    """A box refused a partial because its pending queue is full.
+
+    The sender should treat this as a NACK: degrade down the ladder
+    (next on-path box, then direct to the master) instead of retrying
+    into the saturated box.
+    """
+
+    def __init__(self, box_id: str, app: str, request_id: str,
+                 policy: str) -> None:
+        super().__init__(
+            f"box {box_id!r} shed {app}/{request_id} (policy={policy})"
+        )
+        self.box_id = box_id
+        self.app = app
+        self.request_id = request_id
+        self.policy = policy
+
+
+class BoxSpillError(BoxOverloadError):
+    """Overflow refusal under the ``spill`` policy: re-target upstream."""
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One recorded state change of a box's health machine."""
+
+    at: float
+    frm: str
+    to: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class BoxHeartbeat:
+    """One health report a box exports to the platform."""
+
+    box_id: str
+    at: float
+    state: str
+    pending: int          #: total buffered partials across apps
+    max_pending: int      #: per-app bound (0 = unbounded)
+    sheds: int            #: cumulative shed/reject decisions
+    flushes: int          #: cumulative pressure-relief partial flushes
+
+
+class BoxHealth:
+    """The health state machine of one agg box.
+
+    Driven by queue occupancy (:meth:`observe`) and explicit
+    crash/recover calls; every transition is validated against
+    :data:`LEGAL_TRANSITIONS` and recorded for the chaos suite.
+    """
+
+    def __init__(self, policy: OverloadPolicy) -> None:
+        self._policy = policy
+        self._state = HEALTHY
+        self.transitions: List[HealthTransition] = []
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _move(self, to: str, at: float, reason: str) -> None:
+        if to == self._state:
+            return
+        if to not in LEGAL_TRANSITIONS[self._state]:
+            raise RuntimeError(
+                f"illegal health transition {self._state} -> {to}"
+            )
+        self.transitions.append(
+            HealthTransition(at=at, frm=self._state, to=to, reason=reason)
+        )
+        self._state = to
+
+    def observe(self, pending: int, at: float = 0.0) -> str:
+        """Update the state from the current worst per-app queue depth."""
+        if self._state == FAILED:
+            return self._state
+        policy = self._policy
+        if pending >= policy.max_pending:
+            if self._state == HEALTHY:
+                self._move(PRESSURED, at, f"pending={pending}")
+            self._move(SHEDDING, at, f"pending={pending}")
+        elif pending >= policy.high_pending:
+            # Shedding persists until the queue drains below the high
+            # watermark (hysteresis); healthy boxes become pressured.
+            if self._state == HEALTHY:
+                self._move(PRESSURED, at, f"pending={pending}")
+        else:
+            if self._state == SHEDDING:
+                self._move(PRESSURED, at, f"pending={pending}")
+            if self._state == PRESSURED and pending < policy.low_pending:
+                self._move(HEALTHY, at, f"pending={pending}")
+        return self._state
+
+    def fail(self, at: float = 0.0) -> None:
+        """The box crashed (entered from any state)."""
+        self._move(FAILED, at, "crash")
+
+    def recover(self, at: float = 0.0) -> None:
+        """The box came back empty (queues were lost with the crash)."""
+        self._move(HEALTHY, at, "recover")
+
+
+def assert_legal_transitions(
+    transitions: List[HealthTransition],
+) -> None:
+    """Raise AssertionError when a recorded trace breaks the machine.
+
+    Used by the chaos-invariant suite: the trace must start from
+    ``healthy`` and every hop must be in :data:`LEGAL_TRANSITIONS`.
+    """
+    state = HEALTHY
+    for t in transitions:
+        assert t.frm == state, f"trace gap: at {t.at} expected {state}, " \
+                               f"recorded {t.frm}"
+        assert t.to in LEGAL_TRANSITIONS[t.frm], \
+            f"illegal transition {t.frm} -> {t.to} at {t.at}"
+        state = t.to

@@ -30,7 +30,14 @@ import time
 import traceback
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments import DEFAULT, MODULES, SimScale, load, resolve
+from repro.experiments import (
+    DEFAULT,
+    MODULES,
+    SimScale,
+    load,
+    resolve,
+    unknown_experiment_message,
+)
 from repro.experiments.common import BENCH, PAPER, QUICK
 from repro.netsim.simulator import COUNTERS
 
@@ -54,7 +61,16 @@ def bench_targets(names: Optional[Sequence[str]] = None) -> List[str]:
     mirrors the registry; falls back to the registry when the
     ``benchmarks/`` tree is not present (installed package)."""
     if names:
-        return [resolve(name) for name in names]
+        resolved = []
+        for name in names:
+            try:
+                resolved.append(resolve(name))
+            except KeyError:
+                raise SystemExit(
+                    unknown_experiment_message(name)) from None
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+        return resolved
     bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
     found = sorted(
         path.stem[len("bench_"):]

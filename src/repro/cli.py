@@ -52,8 +52,7 @@ def resolve(name: str) -> str:
         return experiments.resolve(name)
     except KeyError:
         raise SystemExit(
-            f"unknown experiment {name!r}; try 'python -m repro list'"
-        ) from None
+            experiments.unknown_experiment_message(name)) from None
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
 

@@ -12,9 +12,27 @@
 - :mod:`repro.core.failure` -- failure detection and recovery (child
   rewiring + duplicate suppression);
 - :mod:`repro.core.straggler` -- straggler mitigation (per-request
-  redirect, permanent failover for repeat offenders).
+  redirect, permanent failover for repeat offenders);
+- :mod:`repro.core.breaker` -- per-target circuit breakers on the shim
+  send path (closed/open/half-open on the virtual clock);
+- :mod:`repro.core.admission` -- admission control at the master shim
+  (per-tenant token buckets, queue-depth NACKs);
+- :mod:`repro.core.overload` -- the platform's overload-control
+  configuration tying queues, breakers and admission together.
 """
 
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionNack,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.core.breaker import (
+    BreakerBoard,
+    BreakerPolicy,
+    BreakerTransition,
+    CircuitBreaker,
+)
 from repro.core.failure import FailureDetector, rewire_failed_box
 from repro.core.multicast import (
     MulticastTree,
@@ -23,6 +41,7 @@ from repro.core.multicast import (
     plan_multicast_flows,
     plan_unicast_flows,
 )
+from repro.core.overload import OverloadConfig
 from repro.core.platform import NetAggPlatform
 from repro.core.recovery import InFlightRequest, RecoveryLog
 from repro.core.shim import MasterShim, WorkerShim
@@ -46,6 +65,15 @@ __all__ = [
     "StragglerPolicy",
     "InFlightRequest",
     "RecoveryLog",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BreakerPolicy",
+    "BreakerTransition",
+    "AdmissionController",
+    "AdmissionNack",
+    "AdmissionPolicy",
+    "TokenBucket",
+    "OverloadConfig",
     "SocketFactory",
     "NetAggSocketFactory",
     "MulticastTree",

@@ -1,0 +1,142 @@
+"""Admission control at the master shim.
+
+Instead of letting an overloaded deployment time senders out, the
+master shim refuses excess requests up front with a typed NACK: the
+caller degrades immediately (retry later, shed the query, fall back to
+edge aggregation) rather than burning retry budget into saturated
+boxes.  Two gates run per request, in order:
+
+- a *queue-depth* gate: when the deepest agg-box pending queue (from
+  the health feed) is at or above ``max_queue_depth``, the request is
+  NACKed with reason ``queue-depth``;
+- a per-tenant *token bucket*: ``rate`` tokens/virtual-second with a
+  ``burst`` ceiling; an empty bucket NACKs with reason ``rate-limit``.
+
+Refills run on the platform's deterministic virtual clock, so a fixed
+workload produces bit-identical admission decisions across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+RATE_LIMIT = "rate-limit"
+QUEUE_DEPTH = "queue-depth"
+
+NACK_REASONS = (RATE_LIMIT, QUEUE_DEPTH)
+
+
+class TokenBucket:
+    """A deterministic token bucket on the virtual clock."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._updated = 0.0
+
+    def available(self, now: float) -> float:
+        """Tokens in the bucket after refilling up to ``now``."""
+        if now > self._updated:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated) * self.rate
+            )
+            self._updated = now
+        return self._tokens
+
+    def try_take(self, now: float, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False leaves the bucket as-is."""
+        if self.available(now) < n:
+            return False
+        self._tokens -= n
+        return True
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Master-shim admission configuration.
+
+    Attributes:
+        rate: sustained admitted requests per tenant per virtual second.
+        burst: token-bucket ceiling (instantaneous burst allowance).
+        max_queue_depth: NACK every tenant while the deepest box pending
+            queue is at or above this (None disables the gate).
+    """
+
+    rate: float = 50.0
+    burst: float = 10.0
+    max_queue_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+
+
+class AdmissionNack(RuntimeError):
+    """A request was refused at the master shim.
+
+    This is the *terminating* outcome for a non-admitted request: the
+    sender never enters the aggregation trees, so nothing can hang.
+    """
+
+    def __init__(self, tenant: str, at: float, reason: str,
+                 queue_depth: int = 0) -> None:
+        super().__init__(
+            f"admission NACK for tenant {tenant!r} at {at:g} ({reason})"
+        )
+        self.tenant = tenant
+        self.at = at
+        self.reason = reason
+        self.queue_depth = queue_depth
+
+
+@dataclass(frozen=True)
+class NackRecord:
+    """One recorded admission refusal (for logs and tests)."""
+
+    tenant: str
+    at: float
+    reason: str
+    queue_depth: int
+
+
+class AdmissionController:
+    """Per-tenant token buckets plus the queue-depth gate."""
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.nacks: List[NackRecord] = []
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.policy.rate, self.policy.burst)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, now: float, queue_depth: int = 0) -> None:
+        """Admit one request or raise :class:`AdmissionNack`.
+
+        The queue-depth gate runs first (it protects the boxes
+        regardless of tenant budgets), then the tenant's token bucket.
+        """
+        limit = self.policy.max_queue_depth
+        if limit is not None and queue_depth >= limit:
+            self._nack(tenant, now, QUEUE_DEPTH, queue_depth)
+        if not self.bucket(tenant).try_take(now):
+            self._nack(tenant, now, RATE_LIMIT, queue_depth)
+        self.admitted += 1
+
+    def _nack(self, tenant: str, now: float, reason: str,
+              queue_depth: int) -> None:
+        self.nacks.append(NackRecord(
+            tenant=tenant, at=now, reason=reason, queue_depth=queue_depth,
+        ))
+        raise AdmissionNack(tenant, now, reason, queue_depth)

@@ -1,0 +1,55 @@
+"""The platform's overload-control configuration.
+
+One :class:`OverloadConfig` switches on the whole overload plane of a
+:class:`repro.core.platform.NetAggPlatform`:
+
+- ``queue``: the per-box :class:`repro.aggbox.overload.OverloadPolicy`
+  (bounded pending queues + health state machine).  Inside the
+  platform the shed policy is forced to ``flush``: a box that accepted
+  a request's announcement must never refuse its partials (that would
+  strand the parent's expected count), so mid-request pressure is
+  relieved by partial flushes whose deltas the platform forwards
+  upstream under fresh source tags.  ``reject-new``/``spill`` refusal
+  semantics surface at *plan time* instead: pressured and shedding
+  boxes are NACKed out of new trees (see ``avoid_pressured``).
+- ``breaker``: per-target circuit breakers wrapped around the retry
+  policy at connect time.
+- ``admission``: token-bucket + queue-depth admission at the master
+  shim; non-admitted requests terminate with a typed
+  :class:`repro.core.admission.AdmissionNack`.
+- ``avoid_pressured``: re-plan new trees away from boxes whose health
+  feed reports ``pressured``/``shedding`` (or that sit inside a
+  scheduled ``BOX_SHED`` window), pushing senders down the degradation
+  ladder instead of into a saturated box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.aggbox.overload import FLUSH, OverloadPolicy
+from repro.core.admission import AdmissionPolicy
+from repro.core.breaker import BreakerPolicy
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Overload-control plane configuration for one platform."""
+
+    queue: Optional[OverloadPolicy] = None
+    breaker: Optional[BreakerPolicy] = None
+    admission: Optional[AdmissionPolicy] = None
+    avoid_pressured: bool = True
+
+    def box_policy(self) -> Optional[OverloadPolicy]:
+        """The queue policy as installed on platform boxes.
+
+        The shed policy is forced to ``flush`` -- within the platform,
+        refusal happens at plan/admission time, never mid-request.
+        """
+        if self.queue is None:
+            return None
+        if self.queue.shed == FLUSH:
+            return self.queue
+        return replace(self.queue, shed=FLUSH)

@@ -36,7 +36,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.aggbox.box import AggBoxRuntime, AppBinding
 from repro.aggbox.functions import AggregationFunction
+from repro.aggbox.overload import PRESSURED, SHEDDING, BoxHeartbeat
+from repro.core.admission import AdmissionController
+from repro.core.breaker import HALF_OPEN, BreakerBoard
 from repro.core.failure import rewire_failed_box
+from repro.core.overload import OverloadConfig
 from repro.core.shim import MasterShim, ShimEvent, WorkerShim
 from repro.core.tree import AggregationTree, TreeBuilder
 from repro.netsim.routing import stable_hash
@@ -77,18 +81,28 @@ class NetAggPlatform:
 
     ``faults`` is a connect-time fault oracle (duck-typed after
     :class:`repro.faults.PlatformFaultInjector`: ``box_down``,
-    ``degradation``, ``churn_until``); ``retry`` the shim retry policy
-    (defaults to :class:`repro.faults.RetryPolicy` when ``faults`` is
-    given).  Without an oracle every connect succeeds immediately and
-    execution is identical to the fault-free platform.
+    ``degradation``, ``churn_until``, optionally ``overload_factor``
+    and ``shedding``); ``retry`` the shim retry policy (defaults to
+    :class:`repro.faults.RetryPolicy` when ``faults`` is given).
+    Without an oracle every connect succeeds immediately and execution
+    is identical to the fault-free platform.
+
+    ``overload`` switches on the overload-control plane (see
+    :class:`repro.core.overload.OverloadConfig`): bounded box queues
+    with the health state machine, per-target circuit breakers at
+    connect time, admission control at the master shim, and tree
+    re-planning away from pressured boxes.
     """
 
     def __init__(self, topo: Topology, faults: Optional[Any] = None,
-                 retry: Optional[Any] = None) -> None:
+                 retry: Optional[Any] = None,
+                 overload: Optional[OverloadConfig] = None) -> None:
         self._topo = topo
         self._builder = TreeBuilder(topo)
+        self._overload = overload
+        box_policy = overload.box_policy() if overload is not None else None
         self._boxes: Dict[str, AggBoxRuntime] = {
-            info.box_id: AggBoxRuntime(info.box_id)
+            info.box_id: AggBoxRuntime(info.box_id, policy=box_policy)
             for info in topo.all_boxes()
         }
         self._functions: Dict[str, AggregationFunction] = {}
@@ -100,6 +114,16 @@ class NetAggPlatform:
             from repro.faults.retry import RetryPolicy
             retry = RetryPolicy()
         self._retry = retry
+        self._breakers = (
+            BreakerBoard(overload.breaker)
+            if overload is not None and overload.breaker is not None
+            else None
+        )
+        self._admission = (
+            AdmissionController(overload.admission)
+            if overload is not None and overload.admission is not None
+            else None
+        )
         self._clock = 0.0
 
     # -- deployment ------------------------------------------------------------
@@ -147,6 +171,27 @@ class NetAggPlatform:
         """
         self._clock = max(self._clock, t)
 
+    @property
+    def overload(self) -> Optional[OverloadConfig]:
+        return self._overload
+
+    @property
+    def breakers(self) -> Optional[BreakerBoard]:
+        """The per-target circuit breakers (None without overload config)."""
+        return self._breakers
+
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        """The master-shim admission controller (None when disabled)."""
+        return self._admission
+
+    def health_report(self) -> Dict[str, BoxHeartbeat]:
+        """The health feed: one heartbeat per box, keyed by box id."""
+        return {
+            box_id: runtime.heartbeat(at=self._clock)
+            for box_id, runtime in sorted(self._boxes.items())
+        }
+
     def fail_box(self, box_id: str) -> None:
         """Mark a box failed; future trees route around it (§3.1)."""
         if box_id not in self._boxes:
@@ -180,9 +225,16 @@ class NetAggPlatform:
         master: str,
         worker_partials: Sequence[Tuple[str, Any]],
         n_trees: int = 1,
+        tenant: Optional[str] = None,
     ) -> RequestOutcome:
-        """Run one online request end-to-end (one tree, by request hash)."""
+        """Run one online request end-to-end (one tree, by request hash).
+
+        With admission control enabled, a non-admitted request raises
+        :class:`repro.core.admission.AdmissionNack` before touching any
+        tree (``tenant`` defaults to the app name).
+        """
         self._check_app(app)
+        self._admit(tenant or app)
         trees = self.build_trees(request_id, master,
                                  [h for h, _ in worker_partials], n_trees)
         chosen = trees[stable_hash(request_id) % len(trees)]
@@ -197,6 +249,7 @@ class NetAggPlatform:
         worker_keyed_items: Sequence[Tuple[str, List[Tuple[str, Any]]]],
         n_trees: int = 1,
         rebundle: Optional[Callable[[List[Any]], Any]] = None,
+        tenant: Optional[str] = None,
     ) -> RequestOutcome:
         """Run a batch job: keyed items split across all trees (§3.1).
 
@@ -206,6 +259,7 @@ class NetAggPlatform:
         to the identity on lists).
         """
         self._check_app(app)
+        self._admit(tenant or app)
         rebundle = rebundle or (lambda items: items)
         hosts = [h for h, _ in worker_keyed_items]
         trees = self.build_trees(job_id, master, hosts, n_trees)
@@ -245,6 +299,16 @@ class NetAggPlatform:
         if app not in self._functions:
             raise KeyError(f"app {app!r} is not registered")
 
+    def _admit(self, tenant: str) -> None:
+        """Admission gate: raises AdmissionNack when the shim refuses."""
+        if self._admission is None:
+            return
+        depth = max(
+            (runtime.pending_count() for runtime in self._boxes.values()),
+            default=0,
+        )
+        self._admission.admit(tenant, self._clock, queue_depth=depth)
+
     def _probe_box(self, box_id: str, request_key: str,
                    events: List[ShimEvent]) -> bool:
         """Connect-time probe with retries, burning virtual clock.
@@ -252,45 +316,105 @@ class NetAggPlatform:
         Each failed attempt costs ``timeout`` plus a jittered backoff;
         because the clock advances between attempts, a box that recovers
         during a backoff window is genuinely saved by the retry.
+
+        With circuit breakers enabled, an open breaker fails the probe
+        immediately (zero clock burnt); a half-open breaker allows one
+        probe attempt only.  With a retry ``deadline``, attempts stop
+        once the send's clock budget is exhausted.
         """
         policy = self._retry
-        for attempt in range(1, policy.max_attempts + 1):
+        breaker = (self._breakers.breaker(box_id)
+                   if self._breakers is not None else None)
+        if breaker is not None and not breaker.allow(self._clock):
+            events.append(ShimEvent(
+                at=self._clock, kind="breaker-open", source=request_key,
+                target=box_id,
+            ))
+            return False
+        attempts = policy.max_attempts
+        if breaker is not None and breaker.state == HALF_OPEN:
+            attempts = 1
+        started = self._clock
+        for attempt in range(1, attempts + 1):
+            if policy.deadline is not None and attempt > 1 \
+                    and self._clock - started >= policy.deadline:
+                events.append(ShimEvent(
+                    at=self._clock, kind="deadline", source=request_key,
+                    target=box_id, attempt=attempt - 1,
+                    detail=f"budget {policy.deadline:g}",
+                ))
+                return False
             if not self._faults.box_down(box_id, self._clock):
                 self._clock += policy.send_latency
+                if breaker is not None:
+                    breaker.record_success(self._clock)
                 return True
             self._clock += policy.timeout
             events.append(ShimEvent(
                 at=self._clock, kind="retry", source=request_key,
                 target=box_id, attempt=attempt,
             ))
-            if attempt < policy.max_attempts:
+            if breaker is not None:
+                breaker.record_failure(self._clock)
+            if attempt < attempts:
                 self._clock += policy.backoff(
                     attempt, key=f"{request_key}->{box_id}")
         return False
 
+    def _overload_nack_reason(self, box_id: str) -> Optional[str]:
+        """Why a reachable box should be planned out of a new tree.
+
+        Scheduled ``BOX_SHED`` windows and the box's own health feed
+        (``pressured``/``shedding``) both refuse new work; the sender
+        walks its ladder instead of loading the box further.
+        """
+        if self._faults is not None:
+            shedding = getattr(self._faults, "shedding", None)
+            if shedding is not None and shedding(box_id, self._clock):
+                return "shed-window"
+        if self._overload is not None and self._overload.avoid_pressured:
+            state = self._boxes[box_id].health
+            if state in (PRESSURED, SHEDDING):
+                return f"health={state}"
+        return None
+
     def _resolve_tree(self, tree: AggregationTree, request_key: str,
-                      probes: Dict[str, bool],
-                      events: List[ShimEvent]) -> AggregationTree:
+                      probes: Dict[str, bool], events: List[ShimEvent],
+                      nacked: Set[str]) -> AggregationTree:
         """Probe every box and rewire the unreachable ones out (§3.1).
 
         Runs *before* expected counts are announced, so boxes never wait
         for partials that degraded elsewhere.  Probe verdicts are cached
-        in ``probes`` for the shims' ladder walks.
+        in ``probes`` for the shims' ladder walks.  Reachable boxes that
+        refuse new work (shed windows, pressured health) are NACKed and
+        planned out the same way -- the overload re-planning path.
         """
-        if self._faults is None:
+        if self._faults is None and self._overload is None:
             return tree
         effective = tree
         for box_id in sorted(tree.boxes):
             reachable = probes.get(box_id)
             if reachable is None:
-                reachable = self._probe_box(box_id, request_key, events)
+                reachable = (self._probe_box(box_id, request_key, events)
+                             if self._faults is not None else True)
+                if reachable:
+                    reason = self._overload_nack_reason(box_id)
+                    if reason is not None:
+                        reachable = False
+                        nacked.add(box_id)
+                        events.append(ShimEvent(
+                            at=self._clock, kind="nack", source=request_key,
+                            target=box_id, detail=reason,
+                        ))
                 probes[box_id] = reachable
             if not reachable and box_id in effective.boxes:
                 effective = rewire_failed_box(effective, box_id)
-                events.append(ShimEvent(
-                    at=self._clock, kind="unreachable", source=request_key,
-                    target=box_id, attempt=self._retry.max_attempts,
-                ))
+                if box_id not in nacked:
+                    events.append(ShimEvent(
+                        at=self._clock, kind="unreachable",
+                        source=request_key, target=box_id,
+                        attempt=self._retry.max_attempts,
+                    ))
         return effective
 
     def _note_degradation(self, box_id: str, source: str,
@@ -299,6 +423,9 @@ class NetAggPlatform:
         if self._faults is None:
             return
         factor = self._faults.degradation(box_id, self._clock)
+        overload = getattr(self._faults, "overload_factor", None)
+        if overload is not None:
+            factor *= overload(box_id, self._clock)
         self._clock += self._retry.send_latency * factor
         if factor > 1.0:
             events.append(ShimEvent(
@@ -331,10 +458,12 @@ class NetAggPlatform:
         shim = self._master_shims.setdefault(master, MasterShim(master))
         events: List[ShimEvent] = []
         probes: Dict[str, bool] = {}
+        nacked: Set[str] = set()
         # Resolve the effective trees first: unreachable boxes rewired
         # out before announcement keeps every expected count honest.
         pairs = [
-            (tree, self._resolve_tree(tree, request_id, probes, events))
+            (tree,
+             self._resolve_tree(tree, request_id, probes, events, nacked))
             for tree in trees
         ]
         shim.intercept_request(request_id, [eff for _, eff in pairs])
@@ -357,41 +486,60 @@ class NetAggPlatform:
                 self, app, request_id, tree_request, shim, events, probes,
                 rng,
             )
-            ready: Dict[str, Any] = {}
+            # Emissions queued for upstream delivery.  Each entry is
+            # (box_id, aggregate, source_tag): the final emission of a
+            # box travels as ``box:<id>``; pressure-relief flush deltas
+            # travel under fresh ``box:<id>@d<k>`` tags because they
+            # are *additional* inputs to the parent beyond its
+            # announced count (expected is adjusted before delivery).
+            ready: List[Tuple[str, Any, str]] = []
+            delta_seq: Dict[str, int] = {}
+
+            def enqueue_shed(box_id: str) -> None:
+                for delta in self._boxes[box_id].drain_shed():
+                    k = delta_seq.get(box_id, 0)
+                    delta_seq[box_id] = k + 1
+                    ready.append((box_id, delta, f"box:{box_id}@d{k}"))
+
             for index, (host, value) in enumerate(worker_partials):
                 self._wait_out_churn(index, events)
                 wshim = WorkerShim(host, index, [original])
                 landed, emitted, nbytes = wshim.send(value, transport)
                 bytes_in += nbytes
+                if landed is not None:
+                    enqueue_shed(landed)
                 if emitted is not None:
-                    ready[landed] = emitted
+                    ready.append((landed, emitted, f"box:{landed}"))
 
             # Propagate aggregates up the tree until the roots emit.  A
             # rewired tree can have several roots (a crashed root's
-            # children); their outputs merge into the tree's single
-            # aggregate before delivery.
+            # children); their outputs -- and any flush deltas from a
+            # root -- merge into the tree's single aggregate before
+            # delivery.
             root_values: List[Any] = []
-            progress = True
-            while progress:
-                progress = False
-                for box_id in list(ready):
-                    emitted = ready.pop(box_id)
-                    boxes_used.append(box_id)
-                    vertex = tree.boxes[box_id]
-                    if vertex.parent is None:
-                        root_values.append(emitted.value)
-                    else:
-                        parent_emitted, nbytes = self._feed_box(
-                            app, tree_request,
-                            vertex.parent, f"box:{box_id}", emitted.value,
-                            rng,
-                        )
-                        self._note_degradation(vertex.parent,
-                                               f"box:{box_id}", events)
-                        bytes_in += nbytes
-                        if parent_emitted is not None:
-                            ready[vertex.parent] = parent_emitted
-                    progress = True
+            while ready:
+                box_id, emitted, tag = ready.pop(0)
+                boxes_used.append(box_id)
+                vertex = tree.boxes[box_id]
+                if vertex.parent is None:
+                    root_values.append(emitted.value)
+                else:
+                    parent = vertex.parent
+                    if tag != f"box:{box_id}":
+                        # A flush delta raises the parent's expected
+                        # count *before* delivery, so the parent cannot
+                        # emit early and miss the box's final result.
+                        self._boxes[parent].adjust_expected(
+                            app, tree_request, +1)
+                    parent_emitted, nbytes = self._feed_box(
+                        app, tree_request, parent, tag, emitted.value, rng,
+                    )
+                    self._note_degradation(parent, tag, events)
+                    bytes_in += nbytes
+                    enqueue_shed(parent)
+                    if parent_emitted is not None:
+                        ready.append(
+                            (parent, parent_emitted, f"box:{parent}"))
 
             if root_values:
                 value = (root_values[0] if len(root_values) == 1
@@ -428,6 +576,9 @@ class NetAggPlatform:
                   source: str, value: Any, rng: random.Random):
         """Serialise, frame, chunk and deliver one partial to a box."""
         runtime = self._boxes[box_id]
+        # Keep the box's clock in step so health transitions and
+        # heartbeats are stamped with platform virtual time.
+        runtime.clock = max(runtime.clock, self._clock)
         binding = runtime.binding(app)
         payload = frame(binding.serialise(value))
         emitted = None

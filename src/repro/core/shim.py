@@ -45,7 +45,15 @@ class ShimEvent:
                         direct to the master;
         ``degraded``    a delivery into ``target`` was slowed by a
                         capacity degradation;
-        ``churn``       a worker was churning and its emission waited.
+        ``churn``       a worker was churning and its emission waited;
+        ``breaker-open``  the target's circuit breaker refused the send
+                        without burning retry clock;
+        ``deadline``    a send exhausted its total retry-time budget
+                        (:attr:`repro.faults.RetryPolicy.deadline`) and
+                        degraded early;
+        ``nack``        a reachable box refused new work (shed window or
+                        pressured health) and was planned out of the
+                        request's tree.
     """
 
     at: float

@@ -68,6 +68,7 @@ MODULES: List[str] = [
     "ablation_fattree",
     "ablation_arrivals",
     "fig_failures",
+    "fig_overload",
 ]
 
 
@@ -142,6 +143,17 @@ def resolve(name: str) -> str:
     raise ValueError(f"ambiguous experiment {name!r}: {matches}")
 
 
+def unknown_experiment_message(name: str) -> str:
+    """The error text for a name :func:`resolve` rejects.
+
+    Lists every registered experiment so a typo against the registry is
+    a one-glance fix instead of a trip through ``python -m repro list``.
+    """
+    catalogue = "\n".join(f"  {m}" for m in MODULES)
+    return (f"unknown experiment {name!r}; registered experiments:\n"
+            f"{catalogue}")
+
+
 __all__ = [
     "Experiment",
     "ExperimentResult",
@@ -152,6 +164,7 @@ __all__ = [
     "register",
     "resolve",
     "simulate",
+    "unknown_experiment_message",
     "QUICK",
     "BENCH",
     "DEFAULT",

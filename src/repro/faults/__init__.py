@@ -7,7 +7,8 @@ package turns that story into a reusable chaos harness:
 
 - :mod:`repro.faults.schedule` -- a seedable :class:`FaultSchedule` of
   timestamped fault events (box crash/recover, capacity degradation,
-  link down/flap, worker churn, clock-skewed heartbeats);
+  link down/flap, worker churn, clock-skewed heartbeats, plus the
+  overload kinds ``box-overload``/``box-shed`` for saturation windows);
 - :mod:`repro.faults.retry` -- the shim-side :class:`RetryPolicy`:
   connect timeout, bounded exponential backoff with deterministic
   jitter;
@@ -30,7 +31,9 @@ from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import (
     BOX_CRASH,
     BOX_DEGRADE,
+    BOX_OVERLOAD,
     BOX_RECOVER,
+    BOX_SHED,
     CLOCK_SKEW,
     FAULT_KINDS,
     LINK_DOWN,
@@ -54,5 +57,7 @@ __all__ = [
     "LINK_UP",
     "WORKER_CHURN",
     "CLOCK_SKEW",
+    "BOX_OVERLOAD",
+    "BOX_SHED",
     "FAULT_KINDS",
 ]

@@ -24,7 +24,9 @@ from repro.core.tree import AggregationTree, TreeBuilder
 from repro.faults.schedule import (
     BOX_CRASH,
     BOX_DEGRADE,
+    BOX_OVERLOAD,
     BOX_RECOVER,
+    BOX_SHED,
     LINK_DOWN,
     LINK_UP,
     FaultSchedule,
@@ -74,14 +76,21 @@ class SimFaultInjector:
         recovery restores their built capacities (and clears any
         degradation); ``box-degrade`` divides the processing link's
         capacity by the event severity; link faults hit the named wire
-        link.  Events whose target does not exist in ``network`` (e.g.
-        box faults replayed against a boxless baseline topology) are
-        skipped, so the same schedule applies to every strategy.
+        link.  ``box-overload`` divides the processing link's capacity
+        for its window (service slows under queueing) and restores it
+        at window end; ``box-shed`` zeroes the box's downlink for its
+        window (refused ingress), so shed/NACK episodes show up in the
+        flow-level FCTs of whatever was in flight.  Events whose target
+        does not exist in ``network`` (e.g. box faults replayed against
+        a boxless baseline topology) are skipped, so the same schedule
+        applies to every strategy.
         """
         base = network.capacities()
         out: List[Tuple[float, str, float]] = []
         for event in self._schedule:
-            if event.kind in (BOX_CRASH, BOX_RECOVER, BOX_DEGRADE):
+            windowed: List[Tuple[str, float]] = []
+            if event.kind in (BOX_CRASH, BOX_RECOVER, BOX_DEGRADE,
+                              BOX_OVERLOAD, BOX_SHED):
                 if event.target not in self._known_boxes:
                     continue
                 info = self._topo.box(event.target)
@@ -90,6 +99,18 @@ class SimFaultInjector:
                     changes = [(l, 0.0) for l in box_links if l in base]
                 elif event.kind == BOX_RECOVER:
                     changes = [(l, base[l]) for l in box_links if l in base]
+                elif event.kind == BOX_OVERLOAD:
+                    changes = [
+                        (info.proc_link, base[info.proc_link] / event.severity)
+                    ] if info.proc_link in base else []
+                    windowed = [
+                        (info.proc_link, base[info.proc_link])
+                    ] if info.proc_link in base else []
+                elif event.kind == BOX_SHED:
+                    changes = [(info.downlink, 0.0)] \
+                        if info.downlink in base else []
+                    windowed = [(info.downlink, base[info.downlink])] \
+                        if info.downlink in base else []
                 else:
                     changes = [
                         (info.proc_link, base[info.proc_link] / event.severity)
@@ -102,6 +123,10 @@ class SimFaultInjector:
                 continue
             for changed_link, capacity in changes:
                 out.append((event.time, changed_link, capacity))
+            # Windowed faults self-clear: restore at window end.
+            for changed_link, capacity in windowed:
+                out.append((event.time + event.duration, changed_link,
+                            capacity))
         return out
 
     def apply(self, sim, workload=None) -> int:
@@ -266,6 +291,14 @@ class PlatformFaultInjector:
         """Seconds the box's heartbeat clock lags at ``t``."""
         return self._schedule.clock_skew_at(box_id, t)
 
+    def overload_factor(self, box_id: str, t: float) -> float:
+        """Service slow-down from overload windows at ``t`` (1.0 = none)."""
+        return self._schedule.overload_at(box_id, t)
+
+    def shedding(self, box_id: str, t: float) -> bool:
+        """Is the box refusing new requests (shed window) at ``t``?"""
+        return self._schedule.shedding_at(box_id, t)
+
 
 class EmulatorFaultInjector:
     """Arms fail/recover events on testbed-emulator resources.
@@ -274,7 +307,10 @@ class EmulatorFaultInjector:
     events fail the resource (in-service work is parked and replayed on
     recovery), ``box-recover``/``link-up`` recover it, and
     ``box-degrade`` divides its service rate by the event severity until
-    recovery.
+    recovery.  Windowed overload faults self-clear: ``box-overload``
+    slows the resource for its window and restores the built rate at
+    window end; ``box-shed`` takes it out of service for the window
+    (queued work parks and replays -- the emulator has no NACK path).
     """
 
     def __init__(self, schedule: FaultSchedule) -> None:
@@ -297,6 +333,22 @@ class EmulatorFaultInjector:
                     event.time,
                     lambda r=resource, f=factor: r.degrade(f),
                 )
+            elif event.kind == BOX_OVERLOAD:
+                factor = event.severity
+                queue.schedule_at(
+                    event.time,
+                    lambda r=resource, f=factor: r.degrade(f),
+                )
+                queue.schedule_at(
+                    event.time + event.duration,
+                    lambda r=resource: r.degrade(1.0),
+                )
+                armed += 1
+            elif event.kind == BOX_SHED:
+                queue.schedule_at(event.time, resource.fail)
+                queue.schedule_at(event.time + event.duration,
+                                  resource.recover)
+                armed += 1
             else:
                 continue
             armed += 1

@@ -11,7 +11,7 @@ still spread out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.netsim.routing import stable_hash
 
@@ -35,6 +35,12 @@ class RetryPolicy:
             0.5 = sleeps land in ``[0.5 * b, b]``), deterministically
             from the retry key.
         send_latency: clock cost of one successful delivery hop.
+        deadline: optional total retry-time budget per send.  Once a
+            send has burnt this much clock across attempts, the shim
+            degrades down the ladder immediately, even with
+            ``max_attempts`` remaining -- so a send can never exceed a
+            request SLO.  None (the default) keeps attempts unbounded
+            in time.
     """
 
     timeout: float = 0.05
@@ -44,6 +50,7 @@ class RetryPolicy:
     max_backoff: float = 0.5
     jitter: float = 0.5
     send_latency: float = 0.001
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.timeout <= 0:
@@ -61,6 +68,8 @@ class RetryPolicy:
             raise ValueError("jitter must be in [0, 1)")
         if self.send_latency < 0:
             raise ValueError("send_latency must be >= 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
 
     def backoff(self, attempt: int, key: str = "") -> float:
         """Sleep before retry number ``attempt + 1`` (attempts from 1).
@@ -84,8 +93,13 @@ class RetryPolicy:
 
     def worst_case_clock(self) -> float:
         """Upper bound on clock burnt before giving up on one target."""
-        return self.max_attempts * self.timeout + sum(
+        raw = self.max_attempts * self.timeout + sum(
             min(self.base_backoff * self.multiplier ** (a - 1),
                 self.max_backoff)
             for a in range(1, self.max_attempts)
         )
+        if self.deadline is None:
+            return raw
+        # The deadline is checked before each attempt after the first,
+        # so the worst case is one full attempt past the budget.
+        return min(raw, self.deadline + self.timeout)

@@ -19,6 +19,12 @@ kind            meaning
 ``link-up``     the link is restored
 ``worker-churn`` worker ``target`` is unavailable for ``duration`` s
 ``clock-skew``  ``target``'s clock runs ``severity`` seconds behind
+``box-overload`` the box's service slows by factor ``severity`` for
+                ``duration`` s (queueing under offered load, not a
+                hardware fault -- overload windows self-clear)
+``box-shed``    the box refuses *new* requests for ``duration`` s
+                (senders are NACKed down their degradation ladder;
+                in the flow simulator its ingress carries no traffic)
 ==============  =====================================================
 """
 
@@ -36,10 +42,13 @@ LINK_DOWN = "link-down"
 LINK_UP = "link-up"
 WORKER_CHURN = "worker-churn"
 CLOCK_SKEW = "clock-skew"
+BOX_OVERLOAD = "box-overload"
+BOX_SHED = "box-shed"
 
 FAULT_KINDS = frozenset({
     BOX_CRASH, BOX_RECOVER, BOX_DEGRADE,
     LINK_DOWN, LINK_UP, WORKER_CHURN, CLOCK_SKEW,
+    BOX_OVERLOAD, BOX_SHED,
 })
 
 
@@ -51,10 +60,12 @@ class FaultEvent:
         time: virtual time of the event (seconds, >= 0).
         kind: one of :data:`FAULT_KINDS`.
         target: box id, link id, or ``"worker:<index>"`` the event hits.
-        severity: degradation factor (``box-degrade``, > 1 slows the
-            box down) or skew seconds (``clock-skew``); unused otherwise.
-        duration: how long the fault lasts (``worker-churn`` only; crash
-            and link faults end via explicit recover/up events).
+        severity: degradation factor (``box-degrade``/``box-overload``,
+            > 1 slows the box down) or skew seconds (``clock-skew``);
+            unused otherwise.
+        duration: how long the fault lasts (``worker-churn``,
+            ``box-overload`` and ``box-shed``; crash and link faults
+            end via explicit recover/up events).
     """
 
     time: float
@@ -195,6 +206,31 @@ class FaultSchedule:
                 end = window_end if end is None else max(end, window_end)
         return end
 
+    def overload_at(self, target: str, t: float) -> float:
+        """Service slow-down from overload windows covering ``t``.
+
+        Overlapping ``box-overload`` windows do not stack; the worst
+        (largest) factor applies.  1.0 = no overload.
+        """
+        factor = 1.0
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.kind == BOX_OVERLOAD and event.target == target \
+                    and t < event.time + event.duration:
+                factor = max(factor, event.severity)
+        return factor
+
+    def shedding_at(self, target: str, t: float) -> bool:
+        """Is ``target`` inside a ``box-shed`` window at ``t``?"""
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.kind == BOX_SHED and event.target == target \
+                    and t < event.time + event.duration:
+                return True
+        return False
+
     def permanent_crashes(self) -> Dict[str, float]:
         """Box id -> crash time, for crashes never followed by a recover."""
         last_crash: Dict[str, float] = {}
@@ -220,6 +256,8 @@ class FaultSchedule:
         degradations: int = 0,
         churns: int = 0,
         skews: int = 0,
+        overloads: int = 0,
+        sheds: int = 0,
         mean_downtime: Optional[float] = None,
         permanent_fraction: float = 0.25,
     ) -> "FaultSchedule":
@@ -235,7 +273,8 @@ class FaultSchedule:
         """
         if duration <= 0:
             raise ValueError("duration must be positive")
-        if box_crashes + degradations + skews > 0 and not boxes:
+        if box_crashes + degradations + skews + overloads + sheds > 0 \
+                and not boxes:
             raise ValueError("box faults requested but no boxes given")
         if link_flaps > 0 and not links:
             raise ValueError("link flaps requested but no links given")
@@ -290,6 +329,25 @@ class FaultSchedule:
             events.append(FaultEvent(
                 time=rng.uniform(0.0, 0.8 * duration), kind=CLOCK_SKEW,
                 target=box, severity=rng.uniform(0.1, 2.0),
+            ))
+
+        for _ in range(overloads):
+            box = rng.choice(boxes)
+            start = rng.uniform(0.0, 0.8 * duration)
+            events.append(FaultEvent(
+                time=start, kind=BOX_OVERLOAD, target=box,
+                severity=rng.uniform(2.0, 6.0),
+                duration=min(rng.uniform(0.05, 0.3) * duration,
+                             duration - start),
+            ))
+
+        for _ in range(sheds):
+            box = rng.choice(boxes)
+            start = rng.uniform(0.0, 0.8 * duration)
+            events.append(FaultEvent(
+                time=start, kind=BOX_SHED, target=box,
+                duration=min(rng.uniform(0.05, 0.2) * duration,
+                             duration - start),
             ))
 
         return cls(events)

@@ -1,0 +1,17 @@
+"""Shared test configuration: hypothesis profiles.
+
+``print_blob=True`` makes every hypothesis failure print a
+``@reproduce_failure`` blob, so chaos-suite counterexamples found in CI
+can be replayed locally verbatim.  The ``ci`` profile additionally caps
+example counts via ``CHAOS_EXAMPLES`` (see test_chaos_invariants.py).
+Select with ``HYPOTHESIS_PROFILE=ci``; the default (``dev``) keeps
+hypothesis's stock example counts.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", deadline=None, print_blob=True)
+settings.register_profile("ci", deadline=None, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

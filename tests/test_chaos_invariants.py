@@ -1,0 +1,454 @@
+"""Chaos-invariant suite: random fault schedules x overload levels.
+
+Hypothesis drives randomized (schedule, load) cases against every
+execution layer and asserts the invariants the overload-control plane
+promises (the correctness backstop the scenario-based fault tests lack):
+
+- **exactness** -- delivered aggregates equal the centralised
+  computation over exactly the accepted inputs: nothing lost, nothing
+  double-counted, under shedding, spilling, partial flushes, crashes,
+  degradations and churn;
+- **termination** -- every request either completes or is refused with
+  a typed NACK (:class:`AdmissionNack`, :class:`BoxOverloadError`);
+  nothing hangs waiting for a partial that will never arrive;
+- **legal state machines** -- recorded box-health and circuit-breaker
+  traces are contiguous and only take edges the machines define;
+- **determinism** -- a fixed seed reproduces bit-identical shim-event,
+  health and breaker logs.
+
+Example counts default to 200 per layer (the acceptance bar) and can be
+lowered for smoke runs via ``CHAOS_EXAMPLES``.  ``derandomize=True``
+keeps CI stable; any failure prints a ``@reproduce_failure`` blob (see
+conftest.py).
+"""
+
+import math
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggbox.box import AggBoxRuntime, AppBinding
+from repro.aggbox.functions import SumFunction
+from repro.aggbox.overload import (
+    HEALTH_STATES,
+    SHED_POLICIES,
+    BoxOverloadError,
+    OverloadPolicy,
+    assert_legal_transitions,
+)
+from repro.aggregation import NetAggStrategy, deploy_boxes
+from repro.cluster.emulator import Resource
+from repro.core import (
+    AdmissionNack,
+    AdmissionPolicy,
+    BreakerPolicy,
+    NetAggPlatform,
+    OverloadConfig,
+)
+from repro.core.admission import NACK_REASONS
+from repro.core.breaker import assert_legal_breaker_transitions
+from repro.core.failure import rewire_failed_box
+from repro.core.tree import TreeBuilder
+from repro.faults import (
+    EmulatorFaultInjector,
+    FaultSchedule,
+    PlatformFaultInjector,
+    SimFaultInjector,
+)
+from repro.netsim.engine import EventQueue
+from repro.netsim.simulator import FlowSim
+from repro.topology import ThreeTierParams, three_tier
+from repro.wire.serializer import read_float, write_float
+from repro.workload.synthetic import WorkloadParams, generate_workload
+
+CHAOS_EXAMPLES = int(os.environ.get("CHAOS_EXAMPLES", "200"))
+CHAOS = settings(max_examples=CHAOS_EXAMPLES, deadline=None,
+                 derandomize=True, print_blob=True)
+
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=4
+)
+N_HOSTS = SMALL.n_hosts
+
+#: Shared read-only topology for the layers that do not mutate it
+#: (platform, box runtime, tree rewiring).  The flow-sim layer builds a
+#: fresh one per example because capacity events mutate the network.
+TOPO = three_tier(SMALL)
+deploy_boxes(TOPO)
+BOX_IDS = sorted(info.box_id for info in TOPO.all_boxes())
+
+
+def sum_binding():
+    return AppBinding(
+        app="sum", function=SumFunction(),
+        deserialise=lambda b: read_float(b)[0],
+        serialise=write_float,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: the agg-box runtime under bounded queues and shed policies
+
+
+@st.composite
+def box_scenario(draw):
+    policy = OverloadPolicy(
+        max_pending=draw(st.integers(2, 5)),
+        shed=draw(st.sampled_from(SHED_POLICIES)),
+    )
+    n_requests = draw(st.integers(1, 4))
+    requests = {}
+    ops = []
+    for r in range(n_requests):
+        values = draw(st.lists(st.integers(1, 100), min_size=1,
+                               max_size=8))
+        rid = f"r{r}"
+        requests[rid] = [float(v) for v in values]
+        ops.extend((rid, f"w{i}", float(v)) for i, v in enumerate(values))
+    order = draw(st.permutations(ops))
+    relieve_after = draw(st.sets(st.integers(0, len(ops) - 1)))
+    return policy, requests, order, relieve_after
+
+
+class TestBoxRuntimeChaos:
+    @given(scenario=box_scenario())
+    @CHAOS
+    def test_exactness_termination_and_legal_health(self, scenario):
+        policy, requests, order, relieve_after = scenario
+        box = AggBoxRuntime("box:chaos", policy=policy)
+        box.register_app(sum_binding())
+        for rid, values in requests.items():
+            box.announce("sum", rid, len(values))
+
+        delivered = {rid: 0.0 for rid in requests}
+        refused = {rid: 0.0 for rid in requests}
+        accepted = set()
+
+        def collect(emission):
+            if emission is not None:
+                delivered[emission.request_id] += emission.value
+
+        for step, (rid, source, value) in enumerate(order):
+            try:
+                collect(box.submit_partial("sum", rid, source, value))
+                accepted.add((rid, source))
+            except BoxOverloadError as err:
+                # Typed NACK: the sender walks its ladder and the box's
+                # expected count is adjusted, exactly as the platform
+                # does -- the refusal is a terminating outcome.
+                assert err.policy in SHED_POLICIES
+                refused[rid] += value
+                collect(box.adjust_expected("sum", rid, -1))
+            for delta in box.drain_shed():
+                collect(delta)
+            # Bounded queue: the policy's cap is never exceeded.
+            assert box.pending_count("sum") <= policy.max_pending
+            assert box.health in HEALTH_STATES
+            if step in relieve_after:
+                collect(box.relieve("sum"))
+
+        # Duplicate suppression: re-sending any accepted source (the
+        # failure-recovery replay path) must not change any aggregate.
+        for rid, source in sorted(accepted):
+            assert box.submit_partial("sum", rid, source, 1e9) is None
+            for delta in box.drain_shed():  # pragma: no cover - guard
+                collect(delta)
+
+        # Exactness: every value was either folded into an emission
+        # (final or flush delta) or refused with a typed error.
+        for rid, values in requests.items():
+            assert delivered[rid] + refused[rid] == sum(values)
+
+        # Termination: every request emitted, or has nothing buffered
+        # and expects nothing more (all inputs refused or flushed).
+        for state in box.pending_requests():
+            assert not state.partials
+            assert state.expected == 0
+
+        assert_legal_transitions(box.health_transitions)
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: the functional platform end-to-end
+
+
+@st.composite
+def platform_scenario(draw):
+    seed = draw(st.integers(0, 10 ** 6))
+    counts = dict(
+        box_crashes=draw(st.integers(0, 2)),
+        degradations=draw(st.integers(0, 2)),
+        churns=draw(st.integers(0, 2)),
+        overloads=draw(st.integers(0, 3)),
+        sheds=draw(st.integers(0, 2)),
+    )
+    permanent = draw(st.sampled_from([0.0, 1.0]))
+    overload = OverloadConfig(
+        queue=OverloadPolicy(max_pending=draw(st.integers(2, 4))),
+        breaker=BreakerPolicy(
+            failure_threshold=draw(st.integers(1, 3)),
+            reset_timeout=draw(st.sampled_from([0.2, 0.5])),
+        ),
+        admission=AdmissionPolicy(
+            rate=draw(st.sampled_from([2.0, 10.0, 50.0])),
+            burst=draw(st.sampled_from([1.0, 3.0])),
+            max_queue_depth=draw(st.sampled_from([None, 4, 8])),
+        ),
+    )
+    n_requests = draw(st.integers(1, 3))
+    requests = []
+    for _ in range(n_requests):
+        hosts = draw(st.lists(st.integers(0, N_HOSTS - 1), min_size=4,
+                              max_size=6, unique=True))
+        values = draw(st.lists(st.integers(1, 100),
+                               min_size=len(hosts) - 1,
+                               max_size=len(hosts) - 1))
+        start = draw(st.floats(0.0, 2.5))
+        requests.append((hosts[0], hosts[1:], [float(v) for v in values],
+                         start))
+    return seed, counts, permanent, overload, requests
+
+
+class TestPlatformChaos:
+    @given(scenario=platform_scenario())
+    @CHAOS
+    def test_exact_or_nacked_with_legal_machines(self, scenario):
+        seed, counts, permanent, overload, requests = scenario
+        schedule = FaultSchedule.generate(
+            seed=seed, duration=3.0, boxes=BOX_IDS, workers=8,
+            permanent_fraction=permanent, **counts)
+        platform = NetAggPlatform(
+            TOPO, faults=PlatformFaultInjector(schedule),
+            overload=overload)
+        platform.register_app("sum", SumFunction(), write_float,
+                              lambda b: read_float(b)[0])
+
+        # Requests run in start order so the virtual clock only advances.
+        for i, (master, workers, values, start) in enumerate(
+                sorted(requests, key=lambda r: r[3])):
+            platform.advance_clock(start)
+            partials = [(f"host:{h}", v)
+                        for h, v in zip(workers, values)]
+            try:
+                outcome = platform.execute_request(
+                    "sum", f"r{i}", f"host:{master}", partials)
+            except AdmissionNack as nack:
+                # Termination by typed NACK: legal reason, logged.
+                assert nack.reason in NACK_REASONS
+                assert platform.admission.nacks[-1].reason == nack.reason
+                continue
+            # Exactness: byte-identical to the centralised sum.
+            assert outcome.value == sum(values)
+            assert len(outcome.worker_responses) == len(partials)
+
+        if platform.breakers is not None:
+            assert_legal_breaker_transitions(
+                platform.breakers.transitions())
+        for box_id in BOX_IDS:
+            runtime = platform.box_runtime(box_id)
+            assert_legal_transitions(runtime.health_transitions)
+        for beat in platform.health_report().values():
+            assert beat.state in HEALTH_STATES
+
+    def test_fixed_seed_reproduces_bit_identical_logs(self):
+        def run_once():
+            schedule = FaultSchedule.generate(
+                seed=7, duration=3.0, boxes=BOX_IDS, workers=6,
+                box_crashes=2, degradations=2, churns=1, overloads=3,
+                sheds=2, permanent_fraction=0.5)
+            platform = NetAggPlatform(
+                TOPO, faults=PlatformFaultInjector(schedule),
+                overload=OverloadConfig(
+                    queue=OverloadPolicy(max_pending=3),
+                    breaker=BreakerPolicy(failure_threshold=2,
+                                          reset_timeout=0.3),
+                    admission=AdmissionPolicy(rate=20.0, burst=3.0,
+                                              max_queue_depth=6)))
+            platform.register_app("sum", SumFunction(), write_float,
+                                  lambda b: read_float(b)[0])
+            partials = [(f"host:{h}", float(h)) for h in (4, 8, 12, 15)]
+            log = []
+            for i in range(4):
+                platform.advance_clock(i * 0.6)
+                try:
+                    outcome = platform.execute_request(
+                        "sum", f"r{i}", "host:0", partials)
+                    log.append([repr(e) for e in outcome.shim_events])
+                except AdmissionNack as nack:
+                    log.append(repr((nack.tenant, nack.at, nack.reason)))
+            health = {
+                box_id: [repr(t) for t in
+                         platform.box_runtime(box_id).health_transitions]
+                for box_id in BOX_IDS
+            }
+            breakers = [repr(t) for t in platform.breakers.transitions()]
+            return log, health, breakers
+
+        assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: the flow-level simulator with service-capacity faults
+
+
+@st.composite
+def sim_scenario(draw):
+    seed = draw(st.integers(0, 10 ** 6))
+    counts = dict(
+        overloads=draw(st.integers(0, 4)),
+        sheds=draw(st.integers(0, 2)),
+        box_crashes=draw(st.integers(0, 1)),
+    )
+    permanent = draw(st.sampled_from([0.0, 1.0]))
+    n_flows = draw(st.integers(8, 18))
+    return seed, counts, permanent, n_flows
+
+
+class TestFlowSimChaos:
+    @given(scenario=sim_scenario())
+    @CHAOS
+    def test_all_flows_drain_under_overload_windows(self, scenario):
+        seed, counts, permanent, n_flows = scenario
+        topo = three_tier(SMALL)
+        deploy_boxes(topo)
+        boxes = sorted(info.box_id for info in topo.all_boxes())
+        schedule = FaultSchedule.generate(
+            seed=seed, duration=1.0, boxes=boxes,
+            permanent_fraction=permanent, **counts)
+        workload = generate_workload(
+            topo, WorkloadParams(n_flows=n_flows), seed=seed % 997 + 1)
+        injector = SimFaultInjector(topo, schedule)
+        strategy = NetAggStrategy(fault_view=injector.fault_view)
+        sim = FlowSim(topo.network)
+        sim.add_flows(strategy.plan(workload, topo))
+        injector.apply(sim, workload)
+        result = sim.run()  # raises on stalled flows
+
+        # Termination: overload/shed windows self-clear and permanent
+        # crashes reroute, so every admitted flow eventually drains.
+        assert result.records
+        for record in result.records.values():
+            assert math.isfinite(record.fct), record.spec.flow_id
+            assert record.fct >= 0.0
+        assert math.isfinite(result.end_time)
+
+
+# ---------------------------------------------------------------------------
+# Layer 4: the testbed emulator's queueing resources
+
+
+@st.composite
+def emulator_scenario(draw):
+    seed = draw(st.integers(0, 10 ** 6))
+    counts = dict(
+        overloads=draw(st.integers(0, 3)),
+        sheds=draw(st.integers(0, 2)),
+        box_crashes=draw(st.integers(0, 2)),
+    )
+    n_jobs = draw(st.integers(1, 6))
+    jobs = [
+        (draw(st.floats(0.0, 2.0)), draw(st.integers(1, 50)))
+        for _ in range(n_jobs)
+    ]
+    return seed, counts, jobs
+
+
+class TestEmulatorChaos:
+    @given(scenario=emulator_scenario())
+    @CHAOS
+    def test_transfers_complete_and_rate_restores(self, scenario):
+        seed, counts, jobs = scenario
+        queue = EventQueue()
+        nic = Resource(queue, "nic", rate=10.0)
+        # permanent_fraction=0: every crash recovers, so parked work
+        # replays; overload/shed windows self-clear by construction.
+        schedule = FaultSchedule.generate(
+            seed=seed, duration=2.0, boxes=["nic"],
+            permanent_fraction=0.0, **counts)
+        EmulatorFaultInjector(schedule).arm(queue, {"nic": nic})
+        done = []
+        for at, units in jobs:
+            queue.schedule_at(
+                at, lambda u=units: nic.request(
+                    float(u), lambda: done.append(queue.now)))
+        queue.run()
+
+        # Termination: every transfer completed despite fail/replay.
+        assert len(done) == len(jobs)
+        # The service rate is back at its built value: overload windows
+        # restored it and every crash recovered.
+        assert nic.rate == pytest.approx(10.0)
+        assert not nic.is_down
+        # Conservation: at least the ideal service time was spent.
+        ideal = sum(units for _, units in jobs) / 10.0
+        assert nic.busy_time >= ideal - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Cascading failures: sequential tree rewiring (satellite)
+
+
+def check_tree_invariants(tree, n_workers):
+    """Structural invariants every (rewired) aggregation tree must hold."""
+    # Worker coverage: every worker still has exactly one entry point.
+    assert set(tree.worker_entry) == set(range(n_workers))
+    for index, entry in tree.worker_entry.items():
+        assert entry is None or entry in tree.boxes
+        lane = tree.worker_lane[index]
+        assert isinstance(lane, tuple) and lane
+        # Lane connectivity: ends at the entry box's switch (or the
+        # master's ToR when the worker ships direct), no stutters.
+        terminus = (tree.master_tor if entry is None
+                    else tree.boxes[entry].info.switch_id)
+        assert lane[-1] == terminus
+        assert all(a != b for a, b in zip(lane, lane[1:]))
+    direct = {
+        index for index, entry in tree.worker_entry.items()
+        if entry is None
+    }
+    assert set(tree.direct_workers()) == direct
+    seen_workers = set(direct)
+    for box_id, vertex in tree.boxes.items():
+        # Parent/child pointers are mutually consistent.
+        if vertex.parent is not None:
+            assert vertex.parent in tree.boxes
+            assert box_id in tree.boxes[vertex.parent].children
+        for child in vertex.children:
+            assert tree.boxes[child].parent == box_id
+        assert vertex.lane_to_parent
+        # No duplicate replay sources: each worker feeds exactly one box.
+        workers = set(vertex.direct_workers)
+        assert len(vertex.direct_workers) == len(workers)
+        assert not (workers & seen_workers)
+        seen_workers |= workers
+        assert workers == {
+            index for index, entry in tree.worker_entry.items()
+            if entry == box_id
+        }
+    assert seen_workers == set(range(n_workers))
+
+
+class TestCascadingRewires:
+    @given(data=st.data())
+    @CHAOS
+    def test_sequential_rewires_preserve_invariants(self, data):
+        n_workers = data.draw(st.integers(2, 8), label="n_workers")
+        hosts = data.draw(st.lists(
+            st.integers(0, N_HOSTS - 1), min_size=n_workers + 1,
+            max_size=n_workers + 1, unique=True), label="hosts")
+        key = f"job{data.draw(st.integers(0, 999), label='key')}"
+        tree = TreeBuilder(TOPO).build(
+            key, f"host:{hosts[0]}",
+            [f"host:{h}" for h in hosts[1:]])
+        check_tree_invariants(tree, n_workers)
+        n_failures = data.draw(st.integers(1, 3), label="n_failures")
+        for _ in range(n_failures):
+            if not tree.boxes:
+                break
+            victim = data.draw(
+                st.sampled_from(sorted(tree.boxes)), label="victim")
+            tree = rewire_failed_box(tree, victim)
+            assert victim not in tree.boxes
+            check_tree_invariants(tree, n_workers)

@@ -152,3 +152,29 @@ class TestReplay:
         assert "best 99th-percentile FCT:" in text
         for name in ("none", "rack", "binary", "chain", "netagg"):
             assert name in text
+
+
+class TestUnknownExperimentMessages:
+    def test_resolve_error_lists_registry(self):
+        with pytest.raises(SystemExit) as err:
+            cli.resolve("fig99")
+        message = str(err.value)
+        assert "unknown experiment 'fig99'" in message
+        assert "registered experiments" in message
+        assert "fig_overload" in message
+        assert "fig08_output_ratio" in message
+
+    def test_bench_only_unknown_lists_registry(self):
+        from repro.bench import bench_targets
+
+        with pytest.raises(SystemExit) as err:
+            bench_targets(["nope"])
+        message = str(err.value)
+        assert "unknown experiment 'nope'" in message
+        assert "fig_overload" in message
+
+    def test_bench_only_known_names_resolve(self):
+        from repro.bench import bench_targets
+
+        assert bench_targets(["fig08", "fig_overload"]) == [
+            "fig08_output_ratio", "fig_overload"]

@@ -274,3 +274,44 @@ class TestLegacyEntrypoints:
             warnings.simplefilter("error", DeprecationWarning)
             result = tab01_loc.run(scale=QUICK)
         assert result.rows
+
+    def test_adhoc_kwargs_match_canonical_path(self):
+        # The shim must only warn, never change results: calling with
+        # the exact knobs the canonical QUICK path uses is identical.
+        canonical = fig16_solr_throughput.run(scale=QUICK)
+        with pytest.warns(DeprecationWarning,
+                          match="fig16_solr_throughput.run"):
+            legacy = fig16_solr_throughput.run(clients=(10, 50),
+                                               duration=5.0)
+        assert legacy.rows == canonical.rows
+        assert legacy.columns == canonical.columns
+
+
+class TestFigOverload:
+    def test_quick_registered(self):
+        from repro.experiments import load
+
+        exp = load("fig_overload")
+        assert exp.name == "fig_overload"
+        assert "overload" in exp.summary
+
+    def test_quick_graceful_with_control(self):
+        from repro.experiments import fig_overload
+
+        result = fig_overload.run(scale=QUICK, loads=(0.5, 3.0))
+        assert result.column("load") == [0.5, 3.0]
+        for row in result.rows:
+            for column in ("ctrl_goodput", "nc_goodput", "edge_goodput"):
+                assert 0.0 <= row[column] <= 1.0
+        # At the heaviest load the admission/re-planning arm must hold
+        # goodput at least as well as the uncontrolled arm (graceful
+        # degradation vs the cliff).
+        heavy = result.rows[-1]
+        assert heavy["ctrl_goodput"] >= heavy["nc_goodput"]
+
+    def test_quick_deterministic(self):
+        from repro.experiments import fig_overload
+
+        a = fig_overload.run(scale=QUICK, seed=3, loads=(2.0,))
+        b = fig_overload.run(scale=QUICK, seed=3, loads=(2.0,))
+        assert a.rows == b.rows
