@@ -30,6 +30,7 @@ from repro.aggbox.overload import (
     HealthTransition,
     OverloadPolicy,
 )
+from repro.obs import METRICS, get_tracer
 from repro.wire.framing import ChunkReassembler
 
 
@@ -101,7 +102,15 @@ class AggBoxRuntime:
         self._requests: Dict[tuple, RequestState] = {}
         self._reassemblers: Dict[tuple, ChunkReassembler] = {}
         self._policy = policy
-        self._health = BoxHealth(policy) if policy is not None else None
+        self._health = BoxHealth(policy, owner=box_id) \
+            if policy is not None else None
+        # Registry metrics survive METRICS.reset() (values zero in
+        # place), so caching the objects here is safe and keeps the
+        # per-partial path to one method call per metric.
+        self._m_partials = METRICS.counter("aggbox.partials")
+        self._m_queue = METRICS.histogram("aggbox.queue_depth")
+        self._m_sheds = METRICS.counter("aggbox.sheds")
+        self._m_flushes = METRICS.counter("aggbox.flushes")
         #: Buffered (not yet folded) partials per app.
         self._pending: Dict[str, int] = {}
         #: Delta aggregates emitted by pressure-relief partial flushes;
@@ -245,6 +254,13 @@ class AggBoxRuntime:
         state.partials.append(value)
         state.sources.append(source)
         self._pending[app] = self._pending.get(app, 0) + 1
+        self._m_partials.inc()
+        self._m_queue.observe(self._pending[app])
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("box.partial", self.clock, layer="aggbox",
+                           box=self.box_id, app=app, request=request_id,
+                           source=source, pending=self._pending[app])
         self._observe(app)
         return self._maybe_emit(state)
 
@@ -327,10 +343,12 @@ class AggBoxRuntime:
         policy = self._policy
         if policy.shed == SPILL:
             self.sheds += 1
+            self._m_sheds.inc()
             raise BoxSpillError(self.box_id, app, state.request_id, SPILL)
         if policy.shed == REJECT_NEW and not state.partials \
                 and not state.processed_sources:
             self.sheds += 1
+            self._m_sheds.inc()
             raise BoxOverloadError(self.box_id, app, state.request_id,
                                    REJECT_NEW)
         # FLUSH policy -- or an in-progress request under reject-new,
@@ -359,8 +377,12 @@ class AggBoxRuntime:
         ``emitted`` flag is untouched -- the request stays pending).
         """
         binding = self._binding(state.app)
-        value = tree_aggregate(binding.function, state.partials)
-        payload = binding.serialise(value)
+        with get_tracer().span("box.flush", lambda: self.clock,
+                               layer="aggbox", box=self.box_id,
+                               app=state.app, request=state.request_id,
+                               partials=len(state.partials)):
+            value = tree_aggregate(binding.function, state.partials)
+            payload = binding.serialise(value)
         flushed = len(state.partials)
         state.processed_sources.extend(state.sources)
         if state.expected is not None:
@@ -369,6 +391,7 @@ class AggBoxRuntime:
         state.sources = []
         self._pending[state.app] = self._pending.get(state.app, 0) - flushed
         self.flushes += 1
+        self._m_flushes.inc()
         self._observe(state.app)
         return AggregateReady(
             app=state.app,
@@ -404,8 +427,12 @@ class AggBoxRuntime:
 
     def _emit(self, state: RequestState) -> AggregateReady:
         binding = self._binding(state.app)
-        value = tree_aggregate(binding.function, state.partials)
-        payload = binding.serialise(value)
+        with get_tracer().span("box.emit", lambda: self.clock,
+                               layer="aggbox", box=self.box_id,
+                               app=state.app, request=state.request_id,
+                               partials=len(state.partials)):
+            value = tree_aggregate(binding.function, state.partials)
+            payload = binding.serialise(value)
         self._pending[state.app] = \
             self._pending.get(state.app, 0) - len(state.partials)
         state.processed_sources.extend(state.sources)

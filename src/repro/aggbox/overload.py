@@ -47,8 +47,10 @@ the platform can re-plan trees away from pressured boxes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
+
+from repro.obs import METRICS, get_tracer
 
 HEALTHY = "healthy"
 PRESSURED = "pressured"
@@ -164,9 +166,10 @@ class BoxHealth:
     :data:`LEGAL_TRANSITIONS` and recorded for the chaos suite.
     """
 
-    def __init__(self, policy: OverloadPolicy) -> None:
+    def __init__(self, policy: OverloadPolicy, owner: str = "") -> None:
         self._policy = policy
         self._state = HEALTHY
+        self._owner = owner  #: box id stamped onto trace instants
         self.transitions: List[HealthTransition] = []
 
     @property
@@ -183,6 +186,13 @@ class BoxHealth:
         self.transitions.append(
             HealthTransition(at=at, frm=self._state, to=to, reason=reason)
         )
+        METRICS.counter(f"aggbox.health.{to}").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Queue watermark crossings land on the aggbox timeline.
+            tracer.instant("box.health", at, layer="aggbox",
+                           box=self._owner, frm=self._state, to=to,
+                           reason=reason)
         self._state = to
 
     def observe(self, pending: int, at: float = 0.0) -> str:

@@ -39,7 +39,7 @@ from repro.experiments import (
     unknown_experiment_message,
 )
 from repro.experiments.common import BENCH, PAPER, QUICK
-from repro.netsim.simulator import COUNTERS
+from repro.obs import METRICS
 
 SCALES: Dict[str, SimScale] = {
     "quick": QUICK, "bench": BENCH, "default": DEFAULT, "paper": PAPER,
@@ -52,8 +52,17 @@ BASELINE = {"fig06_default_seconds": 9.157, "commit": "1b25238"}
 
 
 def _peak_rss_kb() -> int:
-    """Process peak RSS in KB (ru_maxrss is KB on Linux)."""
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    """Process peak RSS, normalised to KB.
+
+    ``getrusage`` reports ``ru_maxrss`` in *kilobytes* on Linux but in
+    *bytes* on macOS (and BSDs), so the raw value was off by 1024x when
+    benchmarking on a Mac.  Normalise by platform so ``peak_rss_kb``
+    means the same thing everywhere.
+    """
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        peak //= 1024
+    return peak
 
 
 def bench_targets(names: Optional[Sequence[str]] = None) -> List[str]:
@@ -86,22 +95,23 @@ def time_experiment(name: str, scale: SimScale, seed: int = 1,
     record: Dict[str, object] = {"experiment": name, "scale": scale.name}
     try:
         exp = load(name)
-        COUNTERS.reset()
+        METRICS.reset("netsim.")
         started = time.perf_counter()
         result = exp.run(scale=scale, seed=seed)
         elapsed = time.perf_counter() - started
-        counters = COUNTERS.snapshot()
+        counters = METRICS.snapshot("netsim.")
+        events = counters.get("netsim.events", 0)
         record.update(
             ok=True,
             seconds=round(elapsed, 4),
             rows=len(result.rows),
-            events=counters["events"],
-            events_per_sec=round(counters["events"] / elapsed, 1)
+            events=events,
+            events_per_sec=round(events / elapsed, 1)
             if elapsed > 0 else 0.0,
-            solver_calls=counters["solver_calls"],
-            solver_cache_hits=counters["solver_cache_hits"],
-            flows_resolved=counters["flows_resolved"],
-            flows_reused=counters["flows_reused"],
+            solver_calls=counters.get("netsim.solver.solves", 0),
+            solver_cache_hits=counters.get("netsim.solver.cache_hits", 0),
+            flows_resolved=counters.get("netsim.solver.flows_resolved", 0),
+            flows_reused=counters.get("netsim.solver.flows_reused", 0),
             peak_rss_kb=_peak_rss_kb(),
         )
     except Exception as exc:  # noqa: BLE001 - harness must survive

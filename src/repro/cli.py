@@ -59,11 +59,20 @@ def resolve(name: str) -> str:
 
 def run_experiment(name: str, scale: SimScale, seed: int,
                    ) -> Tuple[ExperimentResult, float]:
-    """Run one experiment via the registry; returns (result, seconds)."""
+    """Run one experiment via the registry; returns (result, seconds).
+
+    The observability registry is reset around the run so the result's
+    ``metrics`` snapshot covers exactly this experiment.
+    """
+    from repro.obs import METRICS
+
     exp = experiments.load(name)
+    METRICS.reset()
     started = time.time()
     result = exp.run(scale=scale, seed=seed)
-    return result, time.time() - started
+    elapsed = time.time() - started
+    result.metrics = METRICS.snapshot()
+    return result, elapsed
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -120,6 +129,40 @@ def cmd_bench(args: argparse.Namespace) -> int:
                      profile=args.profile)
 
 
+def _trace_platform_companion(scale: SimScale, seed: int) -> None:
+    """One functional platform request under the ambient tracer.
+
+    Flow-level experiments (fig06 etc.) only exercise the simulator, so
+    a bare experiment trace would carry ``netsim`` spans alone.  This
+    companion drives :class:`~repro.core.platform.NetAggPlatform`
+    through a top-k aggregation over the same topology so every trace
+    also shows the platform (shim lifecycle) and aggbox (per-partial
+    aggregation) timelines.
+    """
+    from repro.aggregation import deploy_boxes
+    from repro.aggbox.functions import SearchResult, TopKFunction
+    from repro.core.platform import NetAggPlatform
+    from repro.topology.threetier import three_tier
+    from repro.wire.records import decode_search_results, \
+        encode_search_results
+
+    topo = three_tier(scale.topo)
+    deploy_boxes(topo)
+    platform = NetAggPlatform(topo)
+    function = TopKFunction(k=10)
+    platform.register_app("topk", function,
+                          encode_search_results, decode_search_results)
+    hosts = sorted(topo.hosts())
+    master = hosts[0]
+    partials = [
+        (host, [SearchResult(doc_id=i * 100 + j,
+                             score=float((i * 37 + j * 13) % 97))
+                for j in range(6)])
+        for i, host in enumerate(hosts[1:9])
+    ]
+    platform.execute_request("topk", f"trace:{seed}", master, partials)
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.topology.threetier import three_tier
     from repro.workload.synthetic import generate_workload
@@ -129,7 +172,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
         workload_summary,
     )
 
-    if args.trace_command == "generate":
+    if args.target == "generate":
+        if not args.out:
+            raise SystemExit("trace generate requires --out")
         scale = SCALES[args.scale]
         topo = three_tier(scale.topo)
         workload = generate_workload(topo, scale.workload, seed=args.seed)
@@ -137,15 +182,39 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {len(workload.jobs)} jobs + "
               f"{len(workload.background)} background flows to {args.out}")
         return 0
-    if args.trace_command == "inspect":
-        workload = load_workload(args.trace)
+    if args.target == "inspect":
+        if not args.path:
+            raise SystemExit("trace inspect requires a trace file path")
+        workload = load_workload(args.path)
         for key, value in workload_summary(workload).items():
             if isinstance(value, float):
                 print(f"{key:28s} {value:,.3f}")
             else:
                 print(f"{key:28s} {value:,}")
         return 0
-    raise SystemExit(f"unknown trace command {args.trace_command!r}")
+
+    # `trace <experiment>`: run it under a live tracer and export a
+    # Chrome/Perfetto trace_event JSON (load in ui.perfetto.dev).
+    from repro.obs import METRICS, Tracer, tracing, write_trace
+
+    name = resolve(args.target)
+    scale = SCALES[args.scale]
+    out = args.out or f"trace_{args.target}.json"
+    tracer = Tracer()
+    METRICS.reset()
+    with tracing(tracer):
+        print(f"tracing {name} (scale={args.scale}) ...", file=sys.stderr)
+        _, elapsed = run_experiment(name, scale, args.seed)
+        _trace_platform_companion(scale, args.seed)
+    write_trace(tracer, out, metrics=METRICS.snapshot())
+    spans = tracer.spans
+    layers = ", ".join(
+        f"{layer}={sum(1 for s in spans if s.layer == layer)}"
+        for layer in tracer.layers())
+    print(f"wrote {out}: {len(spans)} spans ({layers}), "
+          f"{len(tracer.instants)} instants, "
+          f"{len(tracer.samples)} counter samples  [{elapsed:.1f}s]")
+    return 0
 
 
 #: Strategy name -> (factory, needs agg boxes deployed).
@@ -241,20 +310,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "(dumps <out>.prof)")
     bench.set_defaults(func=cmd_bench)
 
-    trace = sub.add_parser("trace",
-                           help="generate or inspect workload traces")
-    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
-    generate = trace_sub.add_parser(
-        "generate", help="write a synthetic workload as JSONL")
-    generate.add_argument("--scale", choices=sorted(SCALES),
-                          default="bench")
-    generate.add_argument("--seed", type=int, default=1)
-    generate.add_argument("--out", required=True)
-    generate.set_defaults(func=cmd_trace)
-    inspect = trace_sub.add_parser(
-        "inspect", help="summarise a JSONL workload trace")
-    inspect.add_argument("trace")
-    inspect.set_defaults(func=cmd_trace)
+    trace = sub.add_parser(
+        "trace",
+        help="trace an experiment (Perfetto JSON), or generate/inspect "
+             "workload traces")
+    trace.add_argument(
+        "target",
+        help="experiment name (fig06, ...) to run under the tracer, or "
+             "'generate' / 'inspect' for workload traces")
+    trace.add_argument(
+        "path", nargs="?",
+        help="workload trace file (for 'inspect')")
+    trace.add_argument("--scale", choices=sorted(SCALES), default="quick",
+                       help="simulation scale (default: quick)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--out",
+                       help="output path (trace_event JSON for "
+                            "experiments, JSONL for 'generate'; default: "
+                            "trace_<experiment>.json)")
+    trace.set_defaults(func=cmd_trace)
 
     replay = sub.add_parser(
         "replay", help="replay a JSONL trace through a strategy")

@@ -44,6 +44,7 @@ from repro.core.overload import OverloadConfig
 from repro.core.shim import MasterShim, ShimEvent, WorkerShim
 from repro.core.tree import AggregationTree, TreeBuilder
 from repro.netsim.routing import stable_hash
+from repro.obs import METRICS, get_tracer
 from repro.topology.base import Topology
 from repro.wire.framing import frame
 
@@ -299,6 +300,22 @@ class NetAggPlatform:
         if app not in self._functions:
             raise KeyError(f"app {app!r} is not registered")
 
+    def _emit_event(self, events: List[ShimEvent], kind: str, source: str,
+                    target: str, attempt: int = 0, detail: str = "") -> None:
+        """Record one shim lifecycle event everywhere it is observed:
+        the outcome's audit trail, the ``platform.shim.<kind>`` tally
+        in the metrics registry, and (when tracing) an instant on the
+        platform timeline."""
+        events.append(ShimEvent(at=self._clock, kind=kind, source=source,
+                                target=target, attempt=attempt,
+                                detail=detail))
+        METRICS.counter(f"platform.shim.{kind}").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(f"shim.{kind}", self._clock, layer="platform",
+                           source=source, target=target, attempt=attempt,
+                           detail=detail)
+
     def _admit(self, tenant: str) -> None:
         """Admission gate: raises AdmissionNack when the shim refuses."""
         if self._admission is None:
@@ -326,40 +343,42 @@ class NetAggPlatform:
         breaker = (self._breakers.breaker(box_id)
                    if self._breakers is not None else None)
         if breaker is not None and not breaker.allow(self._clock):
-            events.append(ShimEvent(
-                at=self._clock, kind="breaker-open", source=request_key,
-                target=box_id,
-            ))
+            self._emit_event(events, "breaker-open", request_key, box_id)
             return False
         attempts = policy.max_attempts
         if breaker is not None and breaker.state == HALF_OPEN:
             attempts = 1
-        started = self._clock
-        for attempt in range(1, attempts + 1):
-            if policy.deadline is not None and attempt > 1 \
-                    and self._clock - started >= policy.deadline:
-                events.append(ShimEvent(
-                    at=self._clock, kind="deadline", source=request_key,
-                    target=box_id, attempt=attempt - 1,
-                    detail=f"budget {policy.deadline:g}",
-                ))
-                return False
-            if not self._faults.box_down(box_id, self._clock):
-                self._clock += policy.send_latency
+        tracer = get_tracer()
+        probe_span = tracer.begin(
+            "platform.probe", self._clock, layer="platform",
+            target=box_id, request=request_key,
+        ) if tracer.enabled else 0
+        try:
+            started = self._clock
+            for attempt in range(1, attempts + 1):
+                if policy.deadline is not None and attempt > 1 \
+                        and self._clock - started >= policy.deadline:
+                    self._emit_event(events, "deadline", request_key,
+                                     box_id, attempt=attempt - 1,
+                                     detail=f"budget {policy.deadline:g}")
+                    return False
+                if not self._faults.box_down(box_id, self._clock):
+                    self._clock += policy.send_latency
+                    if breaker is not None:
+                        breaker.record_success(self._clock)
+                    return True
+                self._clock += policy.timeout
+                self._emit_event(events, "retry", request_key, box_id,
+                                 attempt=attempt)
                 if breaker is not None:
-                    breaker.record_success(self._clock)
-                return True
-            self._clock += policy.timeout
-            events.append(ShimEvent(
-                at=self._clock, kind="retry", source=request_key,
-                target=box_id, attempt=attempt,
-            ))
-            if breaker is not None:
-                breaker.record_failure(self._clock)
-            if attempt < attempts:
-                self._clock += policy.backoff(
-                    attempt, key=f"{request_key}->{box_id}")
-        return False
+                    breaker.record_failure(self._clock)
+                if attempt < attempts:
+                    self._clock += policy.backoff(
+                        attempt, key=f"{request_key}->{box_id}")
+            return False
+        finally:
+            if probe_span:
+                tracer.end(probe_span, self._clock)
 
     def _overload_nack_reason(self, box_id: str) -> Optional[str]:
         """Why a reachable box should be planned out of a new tree.
@@ -402,19 +421,15 @@ class NetAggPlatform:
                     if reason is not None:
                         reachable = False
                         nacked.add(box_id)
-                        events.append(ShimEvent(
-                            at=self._clock, kind="nack", source=request_key,
-                            target=box_id, detail=reason,
-                        ))
+                        self._emit_event(events, "nack", request_key,
+                                         box_id, detail=reason)
                 probes[box_id] = reachable
             if not reachable and box_id in effective.boxes:
                 effective = rewire_failed_box(effective, box_id)
                 if box_id not in nacked:
-                    events.append(ShimEvent(
-                        at=self._clock, kind="unreachable",
-                        source=request_key, target=box_id,
-                        attempt=self._retry.max_attempts,
-                    ))
+                    self._emit_event(events, "unreachable", request_key,
+                                     box_id,
+                                     attempt=self._retry.max_attempts)
         return effective
 
     def _note_degradation(self, box_id: str, source: str,
@@ -428,10 +443,8 @@ class NetAggPlatform:
             factor *= overload(box_id, self._clock)
         self._clock += self._retry.send_latency * factor
         if factor > 1.0:
-            events.append(ShimEvent(
-                at=self._clock, kind="degraded", source=source,
-                target=box_id, detail=f"x{factor:g}",
-            ))
+            self._emit_event(events, "degraded", source, box_id,
+                             detail=f"x{factor:g}")
 
     def _wait_out_churn(self, worker_index: int,
                         events: List[ShimEvent]) -> None:
@@ -440,14 +453,27 @@ class NetAggPlatform:
             return
         until = self._faults.churn_until(worker_index, self._clock)
         if until is not None and until > self._clock:
-            events.append(ShimEvent(
-                at=self._clock, kind="churn",
-                source=f"worker:{worker_index}",
-                target=f"worker:{worker_index}", detail=f"until {until:g}",
-            ))
+            self._emit_event(events, "churn", f"worker:{worker_index}",
+                             f"worker:{worker_index}",
+                             detail=f"until {until:g}")
             self._clock = until
 
     def _run_on_trees(
+        self,
+        app: str,
+        request_id: str,
+        master: str,
+        worker_partials: Sequence[Tuple[str, Any]],
+        trees: Sequence[AggregationTree],
+    ) -> RequestOutcome:
+        with get_tracer().span("platform.request", lambda: self._clock,
+                               layer="platform", request=request_id,
+                               app=app, workers=len(worker_partials),
+                               trees=len(trees)):
+            return self._run_on_trees_traced(
+                app, request_id, master, worker_partials, trees)
+
+    def _run_on_trees_traced(
         self,
         app: str,
         request_id: str,
@@ -581,15 +607,18 @@ class NetAggPlatform:
         runtime.clock = max(runtime.clock, self._clock)
         binding = runtime.binding(app)
         payload = frame(binding.serialise(value))
-        emitted = None
-        offset = 0
-        while offset < len(payload):
-            size = rng.randint(1, _CHUNK_BYTES)
-            chunk = payload[offset:offset + size]
-            offset += size
-            result = runtime.submit_chunk(app, request_id, source, chunk)
-            if result is not None:
-                emitted = result
+        with get_tracer().span("platform.deliver", lambda: self._clock,
+                               layer="platform", box=box_id,
+                               source=source, bytes=len(payload)):
+            emitted = None
+            offset = 0
+            while offset < len(payload):
+                size = rng.randint(1, _CHUNK_BYTES)
+                chunk = payload[offset:offset + size]
+                offset += size
+                result = runtime.submit_chunk(app, request_id, source, chunk)
+                if result is not None:
+                    emitted = result
         return emitted, float(len(payload))
 
 
@@ -628,10 +657,8 @@ class _RequestTransport:
 
     def record(self, kind: str, source: str, target: str,
                detail: str = "") -> None:
-        self._events.append(ShimEvent(
-            at=self._platform._clock, kind=kind, source=source,
-            target=target, detail=detail,
-        ))
+        self._platform._emit_event(self._events, kind, source, target,
+                                   detail=detail)
 
     def deliver_box(self, box_id: str, worker_index: int, value: Any):
         emitted, nbytes = self._platform._feed_box(

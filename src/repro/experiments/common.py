@@ -124,18 +124,27 @@ def simulate(
 
 
 def legacy_knobs(entry: str, sweep: Callable[..., "ExperimentResult"],
-                 knobs: Dict[str, object]) -> "ExperimentResult":
+                 knobs: Dict[str, object],
+                 stacklevel: int = 3) -> "ExperimentResult":
     """Dispatch a deprecated ad-hoc-keyword call to a module's sweep.
 
     Figure modules used to expose per-module tuning knobs directly on
     ``run()`` (``run(clients=..., duration=...)``); the canonical
     signature is now ``run(scale=..., seed=...)``.  Old call sites keep
     working through this shim, with a :class:`DeprecationWarning`.
+
+    ``stacklevel`` counts frames from :func:`warnings.warn`'s point of
+    view: 1 is this function, 2 the figure module's ``run()``, 3 (the
+    default) the *caller* of ``run()`` -- where the warning should point
+    so ``python -W error::DeprecationWarning`` blames the right file.
+    Every figure module calls this helper directly from ``run()``; a
+    module that adds an intermediate frame must pass ``stacklevel=4``.
+    Pinned by ``tests/test_experiments.py::TestLegacyEntrypoints``.
     """
     warnings.warn(
         f"calling {entry} with ad-hoc keyword arguments is deprecated; "
         "use run(scale=..., seed=...) with a SimScale preset",
-        DeprecationWarning, stacklevel=3)
+        DeprecationWarning, stacklevel=stacklevel)
     return sweep(**knobs)
 
 
@@ -148,6 +157,9 @@ class ExperimentResult:
     columns: Sequence[str]
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: str = ""
+    #: Flat observability snapshot (``repro.obs.METRICS.snapshot()``)
+    #: captured by the runner; empty when the run was not instrumented.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, **values: object) -> None:
         missing = set(self.columns) - set(values)
@@ -180,13 +192,16 @@ class ExperimentResult:
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-data form (JSON-ready)."""
-        return {
+        data = {
             "experiment": self.experiment,
             "description": self.description,
             "columns": list(self.columns),
             "rows": [dict(row) for row in self.rows],
             "notes": self.notes,
         }
+        if self.metrics:
+            data["metrics"] = dict(self.metrics)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ExperimentResult":
@@ -195,6 +210,7 @@ class ExperimentResult:
             description=data["description"],
             columns=tuple(data["columns"]),
             notes=data.get("notes", ""),
+            metrics=dict(data.get("metrics", {})),
         )
         for row in data["rows"]:
             result.add_row(**row)

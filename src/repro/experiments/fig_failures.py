@@ -97,8 +97,11 @@ def _run_arm(scale: SimScale, arm: str, seed: int,
         strategy, deploy = NoAggregationStrategy(), None
     result = simulate(scale, strategy, deploy=deploy, seed=seed,
                       faults=schedule)
-    end = max(record.drain_time for record in result.records.values())
-    return fct_summary(result).p99, end
+    # Tiny scales / heavy schedules may drain nothing; degrade to an
+    # explicit NaN row rather than dying inside FctSummary.of.
+    end = max((record.drain_time for record in result.records.values()),
+              default=0.0)
+    return fct_summary(result, empty_ok=True).p99, end
 
 
 def _check_exact(scale: SimScale, seed: int,
@@ -149,12 +152,14 @@ def run(scale: SimScale = DEFAULT, seed: int = 1,
             else _run_arm(scale, "netagg", seed, schedule)[0]
         edge_p99 = _run_arm(scale, "edge", seed, schedule)[0]
         none_p99 = _run_arm(scale, "none", seed, schedule)[0]
+        degradation = netagg_p99 / baseline_p99 if baseline_p99 > 0 \
+            else float("nan")
         result.add_row(
             fault_rate=rate,
             netagg_p99=netagg_p99,
             edge_p99=edge_p99,
             none_p99=none_p99,
-            netagg_degradation=netagg_p99 / baseline_p99,
+            netagg_degradation=degradation,
             exact=_check_exact(scale, seed, schedule),
         )
     return result

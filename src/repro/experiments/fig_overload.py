@@ -198,7 +198,7 @@ def run(scale: SimScale = DEFAULT, seed: int = 1,
     # The SLO anchors to an uncongested run: lowest load, no schedule.
     reference, _ = _run_arm(_loaded_scale(scale, min(loads)), "nc", seed,
                             None)
-    slo = SLO_MULTIPLIER * fct_summary(reference).p99
+    slo = SLO_MULTIPLIER * fct_summary(reference, empty_ok=True).p99
     for load in sorted(loads):
         loaded = _loaded_scale(scale, load)
         schedule = _make_schedule(scale, load, seed)
@@ -210,9 +210,9 @@ def run(scale: SimScale = DEFAULT, seed: int = 1,
             ctrl_goodput=_goodput(ctrl, slo),
             nc_goodput=_goodput(nc, slo),
             edge_goodput=_goodput(edge, slo),
-            ctrl_p99=fct_summary(ctrl).p99,
-            nc_p99=fct_summary(nc).p99,
-            edge_p99=fct_summary(edge).p99,
+            ctrl_p99=fct_summary(ctrl, empty_ok=True).p99,
+            nc_p99=fct_summary(nc, empty_ok=True).p99,
+            edge_p99=fct_summary(edge, empty_ok=True).p99,
             ctrl_denials=denials,
         )
     return result

@@ -26,9 +26,17 @@ class FctSummary:
     maximum: float
 
     @classmethod
-    def of(cls, fcts: Sequence[float]) -> "FctSummary":
+    def of(cls, fcts: Sequence[float], context: str = "") -> "FctSummary":
+        """Summary of ``fcts``; raises :class:`ValueError` when empty.
+
+        ``context`` describes the filter that produced the (empty)
+        selection, so the error names what did not match instead of
+        the bare "no flows matched the filter" that used to crash
+        tiny-scale / heavy-fault experiments without a clue.
+        """
         if not fcts:
-            raise ValueError("no flows matched the filter")
+            detail = f" ({context})" if context else ""
+            raise ValueError(f"no flows matched the filter{detail}")
         return cls(
             count=len(fcts),
             mean=mean(fcts),
@@ -37,14 +45,44 @@ class FctSummary:
             maximum=max(fcts),
         )
 
+    @classmethod
+    def empty(cls) -> "FctSummary":
+        """The explicit no-flows summary: count 0, NaN statistics.
+
+        Experiments that may legitimately select nothing (tiny scales,
+        heavy fault schedules) degrade to this instead of dying; NaN
+        propagates visibly through derived columns.
+        """
+        nan = float("nan")
+        return cls(count=0, mean=nan, median=nan, p99=nan, maximum=nan)
+
+
+def _filter_context(result: SimulationResult,
+                    kinds: Optional[Sequence[str]],
+                    aggregatable: Optional[bool]) -> str:
+    return (
+        f"kinds={list(kinds) if kinds is not None else 'any'}, "
+        f"aggregatable={'any' if aggregatable is None else aggregatable}, "
+        f"simulated flows={len(result.records)}"
+    )
+
 
 def fct_summary(
     result: SimulationResult,
     kinds: Optional[Sequence[str]] = None,
     aggregatable: Optional[bool] = None,
+    empty_ok: bool = False,
 ) -> FctSummary:
-    """FCT summary over flows matching the filters."""
-    return FctSummary.of(result.fcts(kinds=kinds, aggregatable=aggregatable))
+    """FCT summary over flows matching the filters.
+
+    With ``empty_ok`` a selection that matches nothing returns
+    :meth:`FctSummary.empty` instead of raising.
+    """
+    fcts = result.fcts(kinds=kinds, aggregatable=aggregatable)
+    if not fcts and empty_ok:
+        return FctSummary.empty()
+    return FctSummary.of(
+        fcts, context=_filter_context(result, kinds, aggregatable))
 
 
 def relative_p99(
@@ -144,6 +182,14 @@ def slowdowns(result: SimulationResult, network,
 
 
 def slowdown_summary(result: SimulationResult, network,
-                     kinds: Optional[Sequence[str]] = None) -> FctSummary:
+                     kinds: Optional[Sequence[str]] = None,
+                     empty_ok: bool = False) -> FctSummary:
     """Summary statistics over per-flow slowdowns."""
-    return FctSummary.of(slowdowns(result, network, kinds=kinds))
+    values = slowdowns(result, network, kinds=kinds)
+    if not values and empty_ok:
+        return FctSummary.empty()
+    return FctSummary.of(
+        values,
+        context=f"slowdowns, kinds="
+                f"{list(kinds) if kinds is not None else 'any'}, "
+                f"simulated flows={len(result.records)}")

@@ -36,47 +36,72 @@ layer (:mod:`repro.faults`) perturb a run deterministically:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.netsim.incremental import IncrementalMaxMin, SolverStats
 from repro.netsim.network import Network
+from repro.obs import METRICS, get_tracer
 from repro.units import EPSILON
 
+#: Registry names the simulator writes (the ``netsim.*`` namespace).
+_SOLVER_METRICS = (
+    ("solves", "netsim.solver.solves"),
+    ("cache_hits", "netsim.solver.cache_hits"),
+    ("components_resolved", "netsim.solver.components_resolved"),
+    ("flows_resolved", "netsim.solver.flows_resolved"),
+    ("flows_reused", "netsim.solver.flows_reused"),
+)
 
-@dataclass
+
 class SimCounters:
-    """Module-wide work counters, read by the benchmark harness.
+    """Deprecated facade over the ``netsim.*`` metrics in
+    :data:`repro.obs.METRICS`.
 
-    ``reset()`` before a measured region, ``snapshot()`` after; every
-    :meth:`FlowSim.run` in between accumulates into these totals.
+    PR 2's benchmark harness read module-wide work counters from this
+    class; the unified observability layer moved the storage into the
+    metrics registry.  The facade keeps ``COUNTERS.reset()`` /
+    ``COUNTERS.snapshot()`` (and the attribute reads) working while
+    callers migrate to ``METRICS.snapshot("netsim.")``.
     """
 
-    runs: int = 0     #: completed FlowSim.run() calls
-    flows: int = 0    #: flows simulated, summed over runs
-    events: int = 0   #: rate epochs (solver consultations), summed
-    solver: SolverStats = field(default_factory=SolverStats)
+    @property
+    def runs(self) -> int:
+        return METRICS.counter("netsim.runs").value
+
+    @property
+    def flows(self) -> int:
+        return METRICS.counter("netsim.flows").value
+
+    @property
+    def events(self) -> int:
+        return METRICS.counter("netsim.events").value
+
+    @property
+    def solver(self) -> SolverStats:
+        return SolverStats(**{
+            attr: METRICS.counter(name).value
+            for attr, name in _SOLVER_METRICS
+        })
 
     def reset(self) -> None:
-        self.runs = 0
-        self.flows = 0
-        self.events = 0
-        self.solver = SolverStats()
+        METRICS.reset("netsim.")
 
     def snapshot(self) -> Dict[str, int]:
+        solver = self.solver
         return {
             "runs": self.runs,
             "flows": self.flows,
             "events": self.events,
-            "solver_calls": self.solver.solves,
-            "solver_cache_hits": self.solver.cache_hits,
-            "components_resolved": self.solver.components_resolved,
-            "flows_resolved": self.solver.flows_resolved,
-            "flows_reused": self.solver.flows_reused,
+            "solver_calls": solver.solves,
+            "solver_cache_hits": solver.cache_hits,
+            "components_resolved": solver.components_resolved,
+            "flows_resolved": solver.flows_resolved,
+            "flows_reused": solver.flows_reused,
         }
 
 
-#: Global counters; the bench harness resets/reads these around a run.
+#: Legacy global counter view; prefer ``METRICS.snapshot("netsim.")``.
 COUNTERS = SimCounters()
 
 
@@ -282,10 +307,17 @@ class FlowSim:
         solver) via a per-link index instead of a per-epoch scan.
         """
         self._validate_dependencies()
-        COUNTERS.runs += 1
-        COUNTERS.flows += len(self._specs)
+        METRICS.counter("netsim.runs").inc()
+        METRICS.counter("netsim.flows").inc(len(self._specs))
+        epochs = METRICS.counter("netsim.events")
+        tracer = get_tracer()
+        traced = tracer.enabled
         capacities = dict(self._network.capacities())
         solver = IncrementalMaxMin(capacities)
+        run_span = tracer.begin(
+            "flowsim.run", 0.0, layer="netsim",
+            flows=len(self._specs), links=len(capacities),
+        ) if traced else 0
         #: Current path per flow; reroute events replace entries.
         paths: Dict[str, Tuple[str, ...]] = {
             flow_id: spec.path for flow_id, spec in self._specs.items()
@@ -382,6 +414,9 @@ class FlowSim:
             if isinstance(event, CapacityEvent):
                 link_id = event.link_id
                 old = capacities[link_id]
+                if traced:
+                    tracer.instant("capacity", event.when, layer="netsim",
+                                   link=link_id, capacity=event.capacity)
                 if old == event.capacity:
                     return
                 capacities[link_id] = event.capacity
@@ -409,6 +444,9 @@ class FlowSim:
                 return
             assert isinstance(event, RerouteEvent)
             flow_id = event.flow_id
+            if traced:
+                tracer.instant("reroute", event.when, layer="netsim",
+                               flow=flow_id, hops=len(event.path))
             if flow_id in records and flow_id not in remaining:
                 return  # already drained; nothing left to move
             if flow_id in remaining:
@@ -443,7 +481,7 @@ class FlowSim:
             # completion and fault event applied at this instant;
             # untouched components come straight from the cache.
             rates = solver.rates()
-            COUNTERS.events += 1
+            epochs.inc()
             dt_complete = float("inf")
             for flow_id in remaining:
                 if flow_id in stalled:
@@ -472,7 +510,18 @@ class FlowSim:
                 )
             dt = max(dt, 0.0)
 
+            epoch_span = 0
+            if traced:
+                epoch_span = tracer.begin(
+                    "epoch", now, layer="netsim",
+                    active=len(remaining) - len(stalled),
+                    stalled=len(stalled),
+                )
+                tracer.sample("netsim.active_flows", now,
+                              float(len(remaining)), layer="netsim")
             now += dt
+            if traced:
+                tracer.end(epoch_span, now)
             finished: List[str] = []
             for flow_id in remaining:
                 if flow_id in stalled:
@@ -490,7 +539,8 @@ class FlowSim:
                 del remaining[flow_id]
                 detach(flow_id)
                 drain(flow_id, now, records[flow_id].admitted_time)
-        solver.stats.merge_into(COUNTERS.solver)
+        for attr, name in _SOLVER_METRICS:
+            METRICS.counter(name).inc(getattr(solver.stats, attr))
 
         if len(records) != len(self._specs):
             missing = sorted(set(self._specs) - set(records))
@@ -499,6 +549,20 @@ class FlowSim:
         end_time = max(
             (r.completion_time for r in records.values()), default=0.0
         )
+        if traced:
+            # Per-link utilization samples: how much of each physical
+            # link's capacity-time the run actually used (Fig. 9's
+            # "where do the bytes go" view, directly in the trace).
+            for link in self._network.wire_links():
+                cap = capacities.get(link.link_id, 0.0)
+                busy = cap * end_time
+                tracer.instant(
+                    "link.traffic", end_time, layer="netsim",
+                    link=link.link_id, bytes=link.bytes_carried,
+                    utilization=(link.bytes_carried / busy
+                                 if busy > 0 else 0.0),
+                )
+            tracer.end(run_span, end_time)
         return SimulationResult(records=records, network=self._network,
                                 end_time=end_time)
 

@@ -1,0 +1,208 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and validation.
+
+The trace format is the JSON Object Format of the Trace Event spec
+(the one ``chrome://tracing`` and https://ui.perfetto.dev load
+directly): a top-level object with a ``traceEvents`` list.  Spans
+become complete (``"ph": "X"``) events, instants become ``"i"``
+events, counter samples become ``"C"`` events, and each layer tag maps
+to its own synthetic thread (with ``"M"`` metadata naming it) so the
+three layers render as parallel timeline rows.
+
+Virtual-clock seconds are scaled to the format's microseconds, so a
+span of 3 ms of simulated time reads as 3 ms in the viewer.
+
+:func:`validate_trace_events` is the schema check CI runs against the
+traced quick-scale experiment before uploading the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.obs.tracer import Tracer
+
+#: Layer tag -> synthetic thread id.  Unknown layers get ids past the
+#: known ones, in first-seen order.
+LAYER_TIDS: Dict[str, int] = {"netsim": 1, "platform": 2, "aggbox": 3}
+
+_SECONDS_TO_US = 1e6
+
+#: Event phases the validator accepts (all this exporter emits).
+_KNOWN_PHASES = {"X", "i", "I", "C", "M"}
+
+
+def _tid(layer: str, tids: Dict[str, int]) -> int:
+    tid = tids.get(layer)
+    if tid is None:
+        tid = max(tids.values(), default=0) + 1
+        tids[layer] = tid
+    return tid
+
+
+def _clean_args(tags: Dict[str, object]) -> Dict[str, object]:
+    """JSON-safe span/event args (repr anything exotic)."""
+    out: Dict[str, object] = {}
+    for key, value in tags.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def to_trace_events(tracer: Tracer) -> List[dict]:
+    """Render a tracer's records as a ``traceEvents`` list.
+
+    Spans still open when the trace is exported are closed at the
+    latest timestamp seen anywhere in the trace (an exporter must not
+    mutate the tracer, so the padding happens on the copy).
+    """
+    tids = dict(LAYER_TIDS)
+    events: List[dict] = []
+    horizon = 0.0
+    for span in tracer.spans:
+        horizon = max(horizon, span.start,
+                      span.end if span.end is not None else span.start)
+    for instant in tracer.instants:
+        horizon = max(horizon, instant.at)
+    for sample in tracer.samples:
+        horizon = max(horizon, sample.at)
+
+    for span in tracer.spans:
+        end = span.end if span.end is not None else horizon
+        events.append({
+            "name": span.name,
+            "cat": span.layer or "repro",
+            "ph": "X",
+            "ts": span.start * _SECONDS_TO_US,
+            "dur": max(0.0, (end - span.start) * _SECONDS_TO_US),
+            "pid": 1,
+            "tid": _tid(span.layer or "repro", tids),
+            "args": _clean_args({"span_id": span.span_id,
+                                 "parent_id": span.parent_id,
+                                 **span.tags}),
+        })
+    for instant in tracer.instants:
+        events.append({
+            "name": instant.name,
+            "cat": instant.layer or "repro",
+            "ph": "i",
+            "ts": instant.at * _SECONDS_TO_US,
+            "s": "t",
+            "pid": 1,
+            "tid": _tid(instant.layer or "repro", tids),
+            "args": _clean_args(instant.tags),
+        })
+    for sample in tracer.samples:
+        events.append({
+            "name": sample.name,
+            "cat": sample.layer or "repro",
+            "ph": "C",
+            "ts": sample.at * _SECONDS_TO_US,
+            "pid": 1,
+            "tid": _tid(sample.layer or "repro", tids),
+            "args": {"value": sample.value},
+        })
+    # Thread-name metadata renders each layer as a labelled row.
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": layer},
+        }
+        for layer, tid in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    return meta + events
+
+
+def trace_payload(tracer: Tracer,
+                  metrics: Optional[Dict[str, float]] = None) -> dict:
+    """The full JSON object: trace events plus a metrics snapshot."""
+    payload: dict = {
+        "traceEvents": to_trace_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+    if metrics:
+        payload["metrics"] = dict(metrics)
+    return payload
+
+
+def write_trace(tracer: Tracer, path: Union[str, pathlib.Path],
+                metrics: Optional[Dict[str, float]] = None) -> pathlib.Path:
+    """Write the Perfetto-loadable JSON file; returns the path."""
+    out = pathlib.Path(path)
+    out.write_text(
+        json.dumps(trace_payload(tracer, metrics=metrics), indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return out
+
+
+def validate_trace_events(events: List[dict]) -> List[str]:
+    """Check a ``traceEvents`` list against the trace_event schema.
+
+    Returns a list of problems (empty = valid).  Checks the fields the
+    viewers actually require: phase, name, numeric non-negative
+    timestamps, numeric non-negative durations for complete events,
+    integer pid/tid, and an instant scope.
+    """
+    problems: List[str] = []
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} must be an int")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if ph in ("i", "I") and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant scope must be t/p/g")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def validate_trace_file(path: Union[str, pathlib.Path],
+                        require_layers: Optional[List[str]] = None) -> dict:
+    """Load and validate a trace JSON file; raises ValueError on
+    problems.  ``require_layers`` additionally demands at least one
+    span (``"X"`` event) per named layer (``cat``).  Returns the
+    parsed payload."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(f"{path}: not a trace_event JSON object")
+    problems = validate_trace_events(payload["traceEvents"])
+    if require_layers:
+        present = {e.get("cat") for e in payload["traceEvents"]
+                   if isinstance(e, dict) and e.get("ph") == "X"}
+        for layer in require_layers:
+            if layer not in present:
+                problems.append(f"no spans from layer {layer!r} "
+                                f"(have {sorted(filter(None, present))})")
+    if problems:
+        raise ValueError(
+            f"{path}: invalid trace ({len(problems)} problem(s)):\n  "
+            + "\n  ".join(problems[:20])
+        )
+    return payload

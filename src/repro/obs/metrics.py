@@ -1,0 +1,167 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+One process-wide :data:`METRICS` registry absorbs the ad-hoc telemetry
+that used to live in three places -- ``SimCounters`` (flow simulator
+work counters), the platform's shim-event tallies, and per-box
+health/queue stats -- behind a single flat :meth:`MetricsRegistry
+.snapshot`.  Namespacing is by dotted prefix:
+
+- ``netsim.*``   -- runs, flows, rate epochs, incremental-solver work;
+- ``platform.*`` -- shim lifecycle events (``platform.shim.retry``,
+  ``platform.shim.nack``, ...);
+- ``aggbox.*``   -- partials folded, sheds, flushes, health
+  transitions, queue-depth distribution.
+
+Metric objects are stable: ``counter(name)`` get-or-creates, and
+``reset()`` zeroes values *in place*, so hot paths may cache the
+returned object across resets.  Everything is plain Python -- no
+locks, no dependencies -- matching the single-threaded virtual-clock
+execution model of the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max/mean).
+
+    Observations are folded into running aggregates rather than
+    stored, so a histogram on a hot path stays O(1) in memory.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create accessors.
+
+    Names are dotted paths (``netsim.events``); a name keeps the type
+    it was first created with (mixing types under one name raises).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def _get(self, name: str, kind: type) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def names(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def snapshot(self, prefix: str = "") -> Dict[str, float]:
+        """Flat ``{name: value}`` view (JSON-ready).
+
+        Counters and gauges map to one entry each; a histogram expands
+        into ``<name>.count`` / ``.sum`` / ``.min`` / ``.max`` /
+        ``.mean`` (min/max omitted while empty).
+        """
+        out: Dict[str, float] = {}
+        for name in self.names(prefix):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}.count"] = metric.count
+                out[f"{name}.sum"] = metric.total
+                out[f"{name}.mean"] = metric.mean
+                if metric.count:
+                    out[f"{name}.min"] = metric.minimum
+                    out[f"{name}.max"] = metric.maximum
+            else:
+                out[name] = metric.value
+        return out
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero every metric under ``prefix`` in place (objects keep
+        their identity, so cached references stay valid)."""
+        for name in self.names(prefix):
+            self._metrics[name].reset()
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The metric registered under ``name`` (None when absent)."""
+        return self._metrics.get(name)
+
+
+#: The process-wide registry all layers write into.
+METRICS = MetricsRegistry()

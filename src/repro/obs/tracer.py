@@ -1,0 +1,253 @@
+"""Structured tracing over the layers' virtual clocks.
+
+A :class:`Tracer` collects three record kinds:
+
+- :class:`Span` -- a named interval ``[start, end]`` with a layer tag,
+  free-form tags, and a parent id.  Parentage comes from a strict LIFO
+  stack: a span begun while another is open is its child, and spans
+  must end in reverse begin order (enforced -- the chaos/property
+  suites assert traces are well-formed by construction).
+- :class:`Instant` -- a point event (a retry, a NACK, a health
+  transition, a capacity change).
+- :class:`Sample` -- a ``(name, at, value)`` counter sample, rendered
+  as a Perfetto counter track (per-epoch active flows, per-link
+  utilization).
+
+Timestamps are whatever virtual clock the instrumented layer runs on
+(simulated seconds for the flow simulator, the platform's virtual
+clock for shims and boxes).  The tracer never reads wall time.
+
+The module-global active tracer defaults to :data:`NULL_TRACER`, whose
+methods are no-ops and whose ``enabled`` flag is False -- instrumented
+hot paths guard span emission with one ``if tracer.enabled:`` branch,
+so a disabled tracer costs a single attribute test per epoch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One named interval on a layer's virtual clock."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    layer: str
+    start: float
+    end: Optional[float] = None  #: None while the span is open
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} ({self.span_id}) is open")
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Instant:
+    """One point event."""
+
+    name: str
+    at: float
+    layer: str
+    tags: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One counter-track sample."""
+
+    name: str
+    at: float
+    value: float
+    layer: str = ""
+
+
+class Tracer:
+    """Collects spans, instants and samples (see module docstring)."""
+
+    __slots__ = ("enabled", "spans", "instants", "samples", "_stack",
+                 "_next_id")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self.samples: List[Sample] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(self, name: str, at: float, layer: str = "",
+              **tags: object) -> int:
+        """Open a span; the innermost open span becomes its parent."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            layer=layer,
+            start=at,
+            tags=tags,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span.span_id
+
+    def end(self, span_id: int, at: float) -> None:
+        """Close a span; must be the innermost open one (strict LIFO)."""
+        if not self._stack:
+            raise RuntimeError(f"end({span_id}) with no open span")
+        top = self._stack[-1]
+        if top.span_id != span_id:
+            raise RuntimeError(
+                f"unbalanced span end: {span_id} closed while "
+                f"{top.name!r} ({top.span_id}) is innermost"
+            )
+        if at < top.start:
+            raise ValueError(
+                f"span {top.name!r} ends at {at} before its start "
+                f"{top.start}"
+            )
+        top.end = at
+        self._stack.pop()
+
+    @contextmanager
+    def span(self, name: str, clock: Callable[[], float], layer: str = "",
+             **tags: object) -> Iterator[Span]:
+        """Span over a ``with`` block; ``clock`` reads the virtual time
+        at entry and exit (it is called twice)."""
+        span_id = self.begin(name, clock(), layer=layer, **tags)
+        opened = self._stack[-1]
+        try:
+            yield opened
+        finally:
+            self.end(span_id, clock())
+
+    def instant(self, name: str, at: float, layer: str = "",
+                **tags: object) -> None:
+        self.instants.append(Instant(name=name, at=at, layer=layer,
+                                     tags=tags))
+
+    def sample(self, name: str, at: float, value: float,
+               layer: str = "") -> None:
+        self.samples.append(Sample(name=name, at=at, value=value,
+                                   layer=layer))
+
+    # -- inspection --------------------------------------------------------
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but not yet ended (innermost last)."""
+        return list(self._stack)
+
+    def finished(self) -> bool:
+        return not self._stack
+
+    def layers(self) -> List[str]:
+        """Distinct layer tags seen, sorted."""
+        seen = {s.layer for s in self.spans}
+        seen.update(i.layer for i in self.instants)
+        seen.update(s.layer for s in self.samples)
+        seen.discard("")
+        return sorted(seen)
+
+    def clear(self) -> None:
+        if self._stack:
+            raise RuntimeError(
+                f"clear() with {len(self._stack)} span(s) still open"
+            )
+        self.spans.clear()
+        self.instants.clear()
+        self.samples.clear()
+        self._next_id = 1
+
+
+class _NullContext:
+    """Reusable no-op context manager (one allocation, ever)."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CTX = _NullContext()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every method is a no-op.
+
+    Instrumentation holds a reference to the active tracer and checks
+    ``tracer.enabled`` before building span/event payloads, so a
+    disabled trace costs one branch on the hot path; methods here stay
+    no-ops so un-guarded call sites are still safe.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def begin(self, name: str, at: float, layer: str = "",
+              **tags: object) -> int:
+        return 0
+
+    def end(self, span_id: int, at: float) -> None:
+        return None
+
+    def span(self, name: str, clock: Callable[[], float], layer: str = "",
+             **tags: object):
+        return _NULL_CTX
+
+    def instant(self, name: str, at: float, layer: str = "",
+                **tags: object) -> None:
+        return None
+
+    def sample(self, name: str, at: float, value: float,
+               layer: str = "") -> None:
+        return None
+
+
+#: The process-wide disabled tracer (the default active tracer).
+NULL_TRACER = NullTracer()
+
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The active tracer (:data:`NULL_TRACER` unless one is installed)."""
+    return _active
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` as the active tracer (None = disable).
+
+    Returns the previously active tracer so callers can restore it;
+    prefer the :func:`tracing` context manager, which does that for
+    you.
+    """
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Activate ``tracer`` (a fresh :class:`Tracer` by default) for the
+    block, restoring the previous tracer afterwards."""
+    active = tracer if tracer is not None else Tracer()
+    previous = set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

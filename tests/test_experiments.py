@@ -286,6 +286,24 @@ class TestLegacyEntrypoints:
         assert legacy.rows == canonical.rows
         assert legacy.columns == canonical.columns
 
+    def test_warning_blames_the_caller_plain_knobs(self):
+        # stacklevel contract of legacy_knobs (see common.py): with the
+        # standard caller -> run() -> legacy_knobs chain the warning
+        # must point at the *caller's* file -- this test -- not at
+        # common.py or the figure module.
+        with pytest.warns(DeprecationWarning) as caught:
+            fig16_solr_throughput.run(clients=(10,), duration=5.0)
+        assert len(caught) == 1
+        assert caught[0].filename == __file__
+
+    def test_warning_blames_the_caller_seed_merging_knobs(self):
+        # Same contract through the seed-merging variant
+        # (run() forwards {"seed": seed, **knobs}).
+        with pytest.warns(DeprecationWarning) as caught:
+            fig22_hadoop_jobs.run(intermediate_bytes=1e6)
+        assert len(caught) == 1
+        assert caught[0].filename == __file__
+
 
 class TestFigOverload:
     def test_quick_registered(self):

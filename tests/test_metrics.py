@@ -35,6 +35,23 @@ class TestFctSummary:
         with pytest.raises(ValueError):
             FctSummary.of([])
 
+    def test_empty_error_surfaces_filter_context(self):
+        result = run_sim([10.0])
+        with pytest.raises(ValueError) as err:
+            fct_summary(result, kinds=("no-such-kind",))
+        message = str(err.value)
+        assert "no-such-kind" in message
+        assert "simulated flows=1" in message
+
+    def test_empty_ok_degrades_to_nan_row(self):
+        import math
+
+        result = run_sim([10.0])
+        summary = fct_summary(result, kinds=("no-such-kind",),
+                              empty_ok=True)
+        assert summary.count == 0
+        assert math.isnan(summary.p99) and math.isnan(summary.median)
+
     def test_from_result_with_filters(self):
         result = run_sim([10.0, 20.0, 30.0])
         assert fct_summary(result).count == 3

@@ -1,0 +1,426 @@
+"""Tests for the unified observability layer (repro.obs).
+
+Covers the tracer's structural invariants (strict-LIFO nesting,
+well-formed parentage -- including property-based checks over random
+begin/end programs), registry semantics, the trace_event exporter, the
+CLI ``trace`` command (spans from all three layers), and -- the purity
+contract -- that a disabled tracer leaves experiment output
+byte-identical.
+"""
+
+import json
+import math
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import (
+    METRICS,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    to_trace_events,
+    tracing,
+    validate_trace_events,
+    validate_trace_file,
+    write_trace,
+)
+
+
+class TestTracerSpans:
+    def test_parentage_from_nesting(self):
+        t = Tracer()
+        outer = t.begin("outer", 0.0, layer="netsim")
+        inner = t.begin("inner", 1.0, layer="netsim")
+        t.end(inner, 2.0)
+        t.end(outer, 3.0)
+        spans = {s.span_id: s for s in t.spans}
+        assert spans[outer].parent_id is None
+        assert spans[inner].parent_id == outer
+        assert spans[inner].duration == 1.0
+        assert t.finished()
+
+    def test_unbalanced_end_rejected(self):
+        t = Tracer()
+        outer = t.begin("outer", 0.0)
+        t.begin("inner", 1.0)
+        with pytest.raises(RuntimeError, match="unbalanced"):
+            t.end(outer, 2.0)
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            Tracer().end(1, 0.0)
+
+    def test_end_before_start_rejected(self):
+        t = Tracer()
+        sid = t.begin("s", 5.0)
+        with pytest.raises(ValueError):
+            t.end(sid, 4.0)
+
+    def test_span_context_manager_closes_on_error(self):
+        t = Tracer()
+        clock = iter([0.0, 1.0, 2.0, 3.0])
+        with pytest.raises(RuntimeError, match="boom"):
+            with t.span("work", lambda: next(clock)):
+                raise RuntimeError("boom")
+        assert t.finished()
+        assert t.spans[0].end == 1.0
+
+    def test_clear_refuses_open_spans(self):
+        t = Tracer()
+        t.begin("open", 0.0)
+        with pytest.raises(RuntimeError):
+            t.clear()
+
+    def test_layers_sorted_distinct(self):
+        t = Tracer()
+        sid = t.begin("a", 0.0, layer="platform")
+        t.end(sid, 1.0)
+        t.instant("x", 0.5, layer="aggbox")
+        t.sample("y", 0.5, 1.0, layer="netsim")
+        assert t.layers() == ["aggbox", "netsim", "platform"]
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.floats(0, 100, allow_nan=False)),
+                    max_size=60))
+    def test_random_programs_keep_nesting_well_formed(self, program):
+        """Any legal begin/end interleaving yields a well-formed tree:
+        children nest inside parents, ids are unique, LIFO holds."""
+        t = Tracer()
+        clock = 0.0
+        for is_begin, dt in program:
+            clock += dt
+            if is_begin:
+                t.begin(f"s{t._next_id}", clock)
+            elif t.open_spans():
+                t.end(t.open_spans()[-1].span_id, clock)
+        while t.open_spans():
+            clock += 1.0
+            t.end(t.open_spans()[-1].span_id, clock)
+        spans = {s.span_id: s for s in t.spans}
+        assert len(spans) == len(t.spans)  # ids unique
+        for s in t.spans:
+            assert s.end is not None and s.end >= s.start
+            if s.parent_id is not None:
+                parent = spans[s.parent_id]
+                assert parent.start <= s.start
+                assert parent.end >= s.end
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        before = (len(NULL_TRACER.spans), len(NULL_TRACER.instants),
+                  len(NULL_TRACER.samples))
+        assert not NULL_TRACER.enabled
+        sid = NULL_TRACER.begin("x", 0.0)
+        NULL_TRACER.end(sid, 1.0)
+        NULL_TRACER.instant("i", 0.0)
+        NULL_TRACER.sample("c", 0.0, 1.0)
+        with NULL_TRACER.span("y", lambda: 0.0):
+            pass
+        after = (len(NULL_TRACER.spans), len(NULL_TRACER.instants),
+                 len(NULL_TRACER.samples))
+        assert before == after == (0, 0, 0)
+
+    def test_default_active_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_restores_previous(self):
+        t = Tracer()
+        with tracing(t) as active:
+            assert active is t
+            assert get_tracer() is t
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        prev = set_tracer(Tracer())
+        try:
+            assert prev is NULL_TRACER
+        finally:
+            set_tracer(prev)
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        c.inc()
+        c.inc(2)
+        assert reg.counter("a.b") is c
+        assert reg.counter("a.b").value == 3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_histogram_streams(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("depth")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap["depth.count"] == 3
+        assert snap["depth.min"] == 1.0
+        assert snap["depth.max"] == 3.0
+        assert snap["depth.mean"] == pytest.approx(2.0)
+
+    def test_empty_histogram_omits_min_max(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty")
+        snap = reg.snapshot()
+        assert "empty.min" not in snap and "empty.max" not in snap
+        assert snap["empty.count"] == 0
+
+    def test_reset_keeps_identity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n.events")
+        c.inc(5)
+        reg.reset("n.")
+        assert reg.counter("n.events") is c
+        assert c.value == 0
+
+    def test_reset_respects_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("a.x").inc()
+        reg.counter("b.x").inc()
+        reg.reset("a.")
+        assert reg.counter("a.x").value == 0
+        assert reg.counter("b.x").value == 1
+
+    def test_snapshot_prefix_filters(self):
+        reg = MetricsRegistry()
+        reg.counter("a.x").inc()
+        reg.gauge("b.y").set(2.5)
+        assert reg.snapshot("b.") == {"b.y": 2.5}
+
+
+class TestExporter:
+    def _tracer(self):
+        t = Tracer()
+        outer = t.begin("run", 0.0, layer="netsim", flows=2)
+        t.instant("retry", 0.5, layer="platform", attempt=1)
+        t.sample("active", 0.25, 2.0, layer="netsim")
+        t.end(outer, 1.0)
+        return t
+
+    def test_events_validate(self):
+        events = to_trace_events(self._tracer())
+        assert validate_trace_events(events) == []
+
+    def test_timestamps_scaled_to_us(self):
+        events = to_trace_events(self._tracer())
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["ts"] == 0.0 and span["dur"] == 1e6
+        assert span["cat"] == "netsim"
+        assert span["args"]["flows"] == 2
+
+    def test_layers_map_to_threads(self):
+        events = to_trace_events(self._tracer())
+        names = {e["args"]["name"]: e["tid"]
+                 for e in events if e["ph"] == "M"}
+        assert names["netsim"] == 1 and names["platform"] == 2
+
+    def test_open_span_padded_to_horizon(self):
+        t = Tracer()
+        t.begin("open", 0.0, layer="netsim")
+        t.instant("later", 4.0, layer="netsim")
+        events = to_trace_events(t)
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["dur"] == 4.0 * 1e6
+        # Exporting must not close the tracer's copy of the span.
+        assert not t.finished()
+
+    def test_exotic_tags_reprd(self):
+        t = Tracer()
+        sid = t.begin("s", 0.0, layer="netsim", obj={"k": 1})
+        t.end(sid, 1.0)
+        events = to_trace_events(t)
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["args"]["obj"] == repr({"k": 1})
+
+    def test_write_and_validate_file(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_trace(self._tracer(), path, metrics={"a.b": 1})
+        payload = validate_trace_file(path)
+        assert payload["metrics"] == {"a.b": 1}
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_validate_rejects_garbage(self):
+        assert validate_trace_events([{"ph": "Z"}])
+        assert validate_trace_events("nope")
+        assert validate_trace_events([{"ph": "X", "name": "s",
+                                      "pid": 1, "tid": 1,
+                                      "ts": -1, "dur": 0}])
+
+    def test_require_layers_enforced(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_trace(self._tracer(), path)
+        with pytest.raises(ValueError, match="aggbox"):
+            validate_trace_file(path, require_layers=["aggbox"])
+
+
+class TestInstrumentation:
+    def test_simulator_emits_netsim_spans(self):
+        from repro.netsim.network import Link, Network
+        from repro.netsim.simulator import FlowSim, FlowSpec
+
+        with tracing(Tracer()) as t:
+            sim = FlowSim(Network([Link("l", 10.0)]))
+            sim.add_flow(FlowSpec("f", size=10.0, path=("l",)))
+            sim.run()
+        assert t.finished()
+        names = {s.name for s in t.spans}
+        assert "flowsim.run" in names and "epoch" in names
+        assert all(s.layer == "netsim" for s in t.spans)
+        assert any(i.name == "link.traffic" for i in t.instants)
+
+    def test_registry_counts_match_legacy_facade(self):
+        from repro.netsim.network import Link, Network
+        from repro.netsim.simulator import COUNTERS, FlowSim, FlowSpec
+
+        COUNTERS.reset()
+        sim = FlowSim(Network([Link("l", 10.0)]))
+        sim.add_flow(FlowSpec("f", size=10.0, path=("l",)))
+        sim.run()
+        snap = COUNTERS.snapshot()
+        assert snap["runs"] == 1
+        assert snap["flows"] == 1
+        assert snap["events"] == METRICS.counter("netsim.events").value
+
+    def test_platform_and_box_layers_traced(self):
+        from repro.aggregation import deploy_boxes
+        from repro.aggbox.functions import SearchResult, TopKFunction
+        from repro.core.platform import NetAggPlatform
+        from repro.experiments.common import QUICK
+        from repro.topology.threetier import three_tier
+        from repro.wire.records import (
+            decode_search_results,
+            encode_search_results,
+        )
+
+        topo = three_tier(QUICK.topo)
+        deploy_boxes(topo)
+        with tracing(Tracer()) as t:
+            platform = NetAggPlatform(topo)
+            platform.register_app("topk", TopKFunction(k=3),
+                                  encode_search_results,
+                                  decode_search_results)
+            hosts = sorted(topo.hosts())
+            partials = [
+                (h, [SearchResult(doc_id=i, score=float(i))])
+                for i, h in enumerate(hosts[1:5])
+            ]
+            platform.execute_request("topk", "r1", hosts[0], partials)
+        assert t.finished()
+        assert "platform" in t.layers()
+        assert "aggbox" in t.layers()
+        assert any(s.name == "platform.request" for s in t.spans)
+        assert any(s.name == "box.emit" for s in t.spans)
+
+
+class TestDisabledTracerPurity:
+    def test_fig06_output_identical_with_and_without_tracing(self):
+        """Tracing must observe, never perturb: the result JSON of a
+        traced run is byte-identical to an untraced one."""
+        from repro.experiments import load
+        from repro.experiments.common import QUICK
+
+        exp = load("fig06_fct_cdf")
+        plain = exp.run(scale=QUICK, seed=3).to_json()
+        with tracing(Tracer()):
+            traced = exp.run(scale=QUICK, seed=3).to_json()
+        assert plain == traced
+
+    def test_experiment_result_metrics_round_trip(self):
+        from repro.experiments import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="x", description="d", columns=("a",),
+            metrics={"netsim.events": 7})
+        result.add_row(a=1)
+        again = ExperimentResult.from_json(result.to_json())
+        assert again.metrics == {"netsim.events": 7}
+        # Empty metrics stay out of the payload (back-compat).
+        bare = ExperimentResult(experiment="x", description="d",
+                                columns=("a",))
+        assert "metrics" not in bare.to_dict()
+
+
+class TestTraceCli:
+    def test_trace_experiment_covers_all_layers(self, tmp_path, capsys):
+        from repro import cli
+
+        out = tmp_path / "trace.json"
+        assert cli.main(["trace", "fig06", "--scale", "quick",
+                         "--out", str(out)]) == 0
+        payload = validate_trace_file(
+            out, require_layers=["netsim", "platform", "aggbox"])
+        assert payload["metrics"]
+        text = capsys.readouterr().out
+        assert "spans" in text
+        # The CLI run must leave the process tracer disabled.
+        assert get_tracer() is NULL_TRACER
+
+    def test_trace_generate_still_works(self, tmp_path, capsys):
+        from repro import cli
+
+        out = tmp_path / "wl.jsonl"
+        assert cli.main(["trace", "generate", "--scale", "quick",
+                         "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_trace_inspect_still_works(self, tmp_path, capsys):
+        from repro import cli
+
+        out = tmp_path / "wl.jsonl"
+        cli.main(["trace", "generate", "--scale", "quick",
+                  "--out", str(out)])
+        capsys.readouterr()
+        assert cli.main(["trace", "inspect", str(out)]) == 0
+        assert "jobs" in capsys.readouterr().out
+
+    def test_trace_inspect_requires_path(self):
+        from repro import cli
+
+        with pytest.raises(SystemExit):
+            cli.main(["trace", "inspect"])
+
+
+class TestObsLint:
+    def test_no_ad_hoc_telemetry_outside_obs(self):
+        """tools/check_obs.py: telemetry containers only in repro.obs
+        (plus the allowlisted deprecated SimCounters facade)."""
+        import pathlib
+
+        script = (pathlib.Path(__file__).resolve().parents[1]
+                  / "tools" / "check_obs.py")
+        proc = subprocess.run([sys.executable, str(script)],
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestFctSummaryDegradation:
+    def test_empty_error_names_the_filter(self):
+        from repro.netsim.metrics import FctSummary
+
+        with pytest.raises(ValueError, match="kinds=\\['worker'\\]"):
+            FctSummary.of([], context="kinds=['worker'], "
+                                      "aggregatable=any")
+
+    def test_empty_summary_is_nan_row(self):
+        from repro.netsim.metrics import FctSummary
+
+        empty = FctSummary.empty()
+        assert empty.count == 0
+        assert math.isnan(empty.p99) and math.isnan(empty.mean)

@@ -60,6 +60,33 @@ class TestPercentile:
     def test_p99_bounded_by_max(self, values):
         assert units.percentile(values, 99.0) <= max(values) + 1e-9
 
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=50))
+    def test_extremes_hit_min_and_max(self, values):
+        assert units.percentile(values, 0.0) == min(values)
+        assert units.percentile(values, 100.0) == max(values)
+
+    @given(st.floats(0, 1e9), st.floats(0, 100))
+    def test_single_element_is_constant(self, value, p):
+        assert units.percentile([value], p) == value
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=50),
+           st.floats(0, 100))
+    def test_result_within_data_range(self, values, p):
+        result = units.percentile(values, p)
+        assert min(values) <= result <= max(values)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=50),
+           st.integers(1, 99))
+    def test_matches_statistics_quantiles(self, values, p):
+        # statistics.quantiles with method="inclusive" uses the same
+        # linear interpolation as numpy's default percentile.
+        import statistics
+
+        cut = statistics.quantiles(values, n=100,
+                                   method="inclusive")[p - 1]
+        assert units.percentile(values, float(p)) == pytest.approx(
+            cut, abs=1e-6)
+
 
 class TestMean:
     def test_basic(self):

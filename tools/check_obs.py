@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Lint: telemetry lives in ``repro.obs``, not in ad-hoc counter dicts.
+
+Before the unified observability layer, each layer grew its own
+telemetry (``SimCounters`` in the simulator, shim-event tallies in the
+platform, health/queue stats on the boxes).  This check keeps it from
+growing back: outside ``src/repro/obs/``, modules may not
+
+- define a class whose name says it is a telemetry container
+  (``*Counters``, ``*Telemetry``, ``*Tally``, ``*MetricsRegistry``), or
+- bind a module-level ``COUNTERS`` / ``METRICS`` / ``TELEMETRY``-style
+  global to a fresh container.
+
+Allowlisted: ``repro.netsim.simulator``'s ``SimCounters``/``COUNTERS``
+pair, which survives as a *deprecated facade* over ``repro.obs.METRICS``
+for old callers (it holds no state of its own).
+
+Run from the repo root::
+
+    python tools/check_obs.py          # exit 1 on violations
+
+Also exercised by the tier-1 suite (``tests/test_obs.py``) and the CI
+lint job.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Class names that read as ad-hoc telemetry containers.
+CLASS_PATTERN = re.compile(
+    r"(Counters|Telemetry|Tally|MetricsRegistry)$")
+
+#: Module-level globals that read as telemetry singletons.
+GLOBAL_PATTERN = re.compile(r"^(COUNTERS|METRICS|TELEMETRY|STATS)$")
+
+#: (module relative to src/repro, symbol) pairs that may stay: the
+#: simulator's deprecated SimCounters facade over repro.obs.METRICS.
+ALLOWLIST = {
+    ("netsim/simulator.py", "SimCounters"),
+    ("netsim/simulator.py", "COUNTERS"),
+    # Hadoop-style *job* counters: domain data of the modelled
+    # application (the paper's MapReduce workload), not repo telemetry.
+    ("apps/hadoop/job.py", "Counters"),
+}
+
+
+def check_file(path: pathlib.Path) -> List[Tuple[int, str]]:
+    rel = path.relative_to(SRC).as_posix()
+    problems: List[Tuple[int, str]] = []
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) \
+                and CLASS_PATTERN.search(node.name) \
+                and (rel, node.name) not in ALLOWLIST:
+            problems.append((
+                node.lineno,
+                f"class {node.name!r} looks like an ad-hoc telemetry "
+                f"container; use repro.obs.METRICS instead",
+            ))
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) \
+                    and GLOBAL_PATTERN.match(target.id) \
+                    and (rel, target.id) not in ALLOWLIST:
+                problems.append((
+                    node.lineno,
+                    f"module-level {target.id!r} looks like a telemetry "
+                    f"singleton; register metrics on repro.obs.METRICS",
+                ))
+    return problems
+
+
+def run() -> int:
+    failures = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.relative_to(SRC).as_posix().startswith("obs/"):
+            continue
+        for lineno, message in check_file(path):
+            failures.append(f"{path.relative_to(SRC.parents[1])}:"
+                            f"{lineno}: {message}")
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
+        print(f"check_obs: {len(failures)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_obs: ok", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())
