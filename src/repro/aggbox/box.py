@@ -98,6 +98,12 @@ class AggBoxRuntime:
                  policy: Optional[OverloadPolicy] = None) -> None:
         self.box_id = box_id
         self.clock = 0.0
+        #: Platform-level request id behind the partials currently being
+        #: fed (the per-request key ``request_id`` is a per-tree alias
+        #: like ``<origin>@t0``).  The hosting platform sets this before
+        #: each delivery; it is stamped onto the box's spans/instants so
+        #: the critical-path extractor can group box work per request.
+        self.trace_origin = ""
         self._apps: Dict[str, AppBinding] = {}
         self._requests: Dict[tuple, RequestState] = {}
         self._reassemblers: Dict[tuple, ChunkReassembler] = {}
@@ -260,7 +266,8 @@ class AggBoxRuntime:
         if tracer.enabled:
             tracer.instant("box.partial", self.clock, layer="aggbox",
                            box=self.box_id, app=app, request=request_id,
-                           source=source, pending=self._pending[app])
+                           origin=self.trace_origin, source=source,
+                           pending=self._pending[app])
         self._observe(app)
         return self._maybe_emit(state)
 
@@ -380,6 +387,7 @@ class AggBoxRuntime:
         with get_tracer().span("box.flush", lambda: self.clock,
                                layer="aggbox", box=self.box_id,
                                app=state.app, request=state.request_id,
+                               origin=self.trace_origin,
                                partials=len(state.partials)):
             value = tree_aggregate(binding.function, state.partials)
             payload = binding.serialise(value)
@@ -430,6 +438,7 @@ class AggBoxRuntime:
         with get_tracer().span("box.emit", lambda: self.clock,
                                layer="aggbox", box=self.box_id,
                                app=state.app, request=state.request_id,
+                               origin=self.trace_origin,
                                partials=len(state.partials)):
             value = tree_aggregate(binding.function, state.partials)
             payload = binding.serialise(value)

@@ -1,4 +1,5 @@
-"""Benchmark harness: time every experiment and record the trajectory.
+"""Benchmark harness: time every experiment, record the trajectory,
+and gate CI on regressions against the committed baseline.
 
 Runs each experiment in the registry (the same set ``benchmarks/``
 covers) at one scale and writes ``BENCH_netsim.json``::
@@ -7,6 +8,7 @@ covers) at one scale and writes ``BENCH_netsim.json``::
     python -m repro bench --scale quick      # CI smoke run
     python -m repro bench --only fig06 fig09
     python -m repro bench --profile          # cProfile the slowest one
+    python -m repro bench --compare BENCH_netsim.json --max-regress 0.15
 
 Per experiment the harness records wall time, simulator events and
 events/sec, incremental-solver call counts, and the process's peak RSS
@@ -15,6 +17,20 @@ the process, so per-experiment numbers are upper bounds).  The file
 also re-times ``fig06`` at ``DEFAULT`` scale against the recorded
 pre-optimisation baseline, so solver regressions show up as a falling
 ``fig06_speedup`` in review.
+
+**Regression gate.**  ``--compare <baseline.json>`` re-times the
+baseline's experiments at the baseline's scale/seed and diffs
+(:func:`compare_payloads`).  Wall times are machine-dependent, so the
+seconds gate normalises by the *median* per-experiment ratio -- a
+uniformly 2x-slower CI machine shifts every ratio equally and trips
+nothing, while one experiment regressing 2x stands out against the
+median.  (Corollary: a single-experiment compare cannot trip the
+seconds gate -- the median is its own ratio -- which is why the
+deterministic counter gates exist.)  Simulator event and solver-call
+counts are machine-independent, so those gate directly: growing more
+than ``max_regress`` over baseline fails.  Each compare appends one
+JSONL line to the trajectory file (``BENCH_trajectory.jsonl``), the
+longitudinal perf record reviewers diff.
 """
 
 from __future__ import annotations
@@ -143,6 +159,194 @@ def _profile_experiment(name: str, scale: SimScale, out: str,
     stats = pstats.Stats(profiler, stream=buf)
     stats.sort_stats("cumulative").print_stats(15)
     return buf.getvalue()
+
+
+#: Counter fields compared deterministically by the regression gate.
+GATED_COUNTERS = ("events", "solver_calls", "flows_resolved")
+
+#: Default per-experiment regression tolerance (15%).
+DEFAULT_MAX_REGRESS = 0.15
+
+#: Baseline wall times below this are pure timer noise (a 5 ms
+#: experiment jitters far past any sane tolerance); such experiments
+#: skip the seconds gate and rely on the deterministic counter gates.
+SECONDS_GATE_FLOOR = 0.05
+
+#: Extra timing runs granted to an experiment whose *wall time* (not
+#: counters) tripped the gate; the minimum over runs is kept, the
+#: standard defence against one-off scheduler noise.
+_RETIME_ATTEMPTS = 2
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def compare_payloads(current: Dict[str, object],
+                     baseline: Dict[str, object],
+                     max_regress: float = DEFAULT_MAX_REGRESS,
+                     ) -> Dict[str, object]:
+    """Diff two bench payloads; pure, so the gate is unit-testable.
+
+    Returns ``{"regressions": [...], "rows": [...], "median_ratio": m}``
+    where each row carries the per-experiment ratios and each
+    regression is a human-readable failure string.  Gates (see module
+    docstring): normalised wall time, the deterministic counters in
+    :data:`GATED_COUNTERS`, newly failing or missing experiments, and
+    a scale mismatch (numbers at different scales are not comparable).
+    """
+    regressions: List[str] = []
+    if current.get("scale") != baseline.get("scale"):
+        regressions.append(
+            f"scale mismatch: current {current.get('scale')!r} vs "
+            f"baseline {baseline.get('scale')!r}")
+    base_records = {r["experiment"]: r
+                    for r in baseline.get("results", []) if r.get("ok")}
+    cur_records = {r["experiment"]: r
+                   for r in current.get("results", [])}
+
+    pairs = []
+    for name, base in sorted(base_records.items()):
+        cur = cur_records.get(name)
+        if cur is None:
+            continue  # subset runs (--only) compare what they ran
+        if not cur.get("ok"):
+            regressions.append(f"{name}: now failing "
+                               f"({cur.get('error', 'unknown error')})")
+            continue
+        pairs.append((name, base, cur))
+    if not pairs and not regressions:
+        regressions.append("no experiments in common with the baseline")
+
+    ratios = [cur["seconds"] / base["seconds"]
+              for _, base, cur in pairs if base["seconds"] > 0]
+    median_ratio = _median(ratios) if ratios else 1.0
+
+    rows = []
+    for name, base, cur in pairs:
+        row: Dict[str, object] = {"experiment": name}
+        if base["seconds"] >= SECONDS_GATE_FLOOR and median_ratio > 0:
+            normalised = (cur["seconds"] / base["seconds"]) / median_ratio
+            row["seconds_ratio"] = round(normalised, 3)
+            if normalised > 1.0 + max_regress:
+                regressions.append(
+                    f"{name}: wall time {cur['seconds']:.3f}s is "
+                    f"{normalised:.2f}x the baseline "
+                    f"{base['seconds']:.3f}s after machine-speed "
+                    f"normalisation (limit {1 + max_regress:.2f}x)")
+        for field in GATED_COUNTERS:
+            base_value = base.get(field, 0)
+            cur_value = cur.get(field, 0)
+            if not base_value:
+                continue
+            ratio = cur_value / base_value
+            row[f"{field}_ratio"] = round(ratio, 3)
+            if ratio > 1.0 + max_regress:
+                regressions.append(
+                    f"{name}: {field} grew {ratio:.2f}x over baseline "
+                    f"({base_value:,} -> {cur_value:,}, "
+                    f"limit {1 + max_regress:.2f}x)")
+        rows.append(row)
+    return {
+        "regressions": regressions,
+        "rows": rows,
+        "median_ratio": round(median_ratio, 4),
+        "compared": len(pairs),
+    }
+
+
+def append_trajectory(path: str, entry: Dict[str, object]) -> None:
+    """Append one JSONL record to the longitudinal trajectory file."""
+    line = json.dumps(entry, sort_keys=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def run_compare(baseline_path: str,
+                max_regress: float = DEFAULT_MAX_REGRESS,
+                trajectory: str = "BENCH_trajectory.jsonl",
+                names: Optional[Sequence[str]] = None,
+                seed: Optional[int] = None) -> int:
+    """``bench --compare``: re-time against a committed baseline.
+
+    Runs the baseline's experiments (or the ``names`` subset) at the
+    baseline's scale and seed, diffs via :func:`compare_payloads`,
+    appends a trajectory line, and returns non-zero on any regression.
+    The committed baseline file is never rewritten here -- refresh it
+    with a plain ``python -m repro bench`` when a change legitimately
+    moves the numbers.
+    """
+    baseline = json.loads(pathlib.Path(baseline_path).read_text(
+        encoding="utf-8"))
+    scale_name = baseline.get("scale", "bench")
+    if scale_name not in SCALES:
+        raise SystemExit(f"{baseline_path}: unknown scale {scale_name!r}")
+    use_seed = baseline.get("seed", 1) if seed is None else seed
+    targets = bench_targets(names) if names else [
+        r["experiment"] for r in baseline.get("results", [])
+        if r.get("ok")
+    ]
+    scale = SCALES[scale_name]
+    results = []
+    for name in targets:
+        print(f"compare {name} (scale={scale.name}) ...", file=sys.stderr)
+        results.append(time_experiment(name, scale, seed=use_seed))
+    current = {
+        "schema": 1,
+        "scale": scale.name,
+        "seed": use_seed,
+        "results": results,
+    }
+    report = compare_payloads(current, baseline, max_regress=max_regress)
+    # Wall-time trips get _RETIME_ATTEMPTS confirmation runs (keeping
+    # the minimum, the standard defence against scheduler noise); the
+    # counter gates are deterministic and never re-run.  A genuine
+    # slowdown reproduces across every attempt and still fails.
+    for _ in range(_RETIME_ATTEMPTS):
+        flaky = sorted({line.split(":", 1)[0]
+                        for line in report["regressions"]
+                        if "wall time" in line})
+        if not flaky:
+            break
+        for name in flaky:
+            print(f"re-time {name} (confirming wall-time regression) ...",
+                  file=sys.stderr)
+            rerun = time_experiment(name, scale, seed=use_seed)
+            if not rerun.get("ok"):
+                continue
+            for record in results:
+                if record["experiment"] == name:
+                    record["seconds"] = min(record["seconds"],
+                                            rerun["seconds"])
+        report = compare_payloads(current, baseline,
+                                  max_regress=max_regress)
+    entry = {
+        "kind": "compare",
+        "at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "baseline": baseline_path,
+        "scale": scale.name,
+        "seed": use_seed,
+        "compared": report["compared"],
+        "median_ratio": report["median_ratio"],
+        "max_regress": max_regress,
+        "regressions": report["regressions"],
+    }
+    append_trajectory(trajectory, entry)
+    print(f"compared {report['compared']} experiment(s) against "
+          f"{baseline_path} (median machine ratio "
+          f"{report['median_ratio']}x); trajectory -> {trajectory}",
+          file=sys.stderr)
+    if report["regressions"]:
+        print("REGRESSIONS:", file=sys.stderr)
+        for line in report["regressions"]:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("no regressions", file=sys.stderr)
+    return 0
 
 
 def run_bench(scale_name: str = "bench", out: str = "BENCH_netsim.json",

@@ -8,6 +8,9 @@ Usage (after ``pip install -e .``)::
     python -m repro run all --scale quick --out results.txt
     python -m repro run fig09 --out results.json   # JSON, round-trips
     python -m repro bench --scale quick
+    python -m repro bench --compare BENCH_netsim.json --max-regress 0.15
+    python -m repro analyze --run fig06
+    python -m repro analyze --trace trace_fig06.json
     python -m repro info
 
 Experiment names accept the short form (``fig08``) or the full module
@@ -122,8 +125,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench
+    from repro.bench import run_bench, run_compare
 
+    if args.compare:
+        # Compare mode never rewrites the committed baseline; it runs
+        # at the baseline's scale/seed so the numbers are comparable.
+        return run_compare(args.compare, max_regress=args.max_regress,
+                           trajectory=args.trajectory,
+                           names=args.only or None)
     return run_bench(scale_name=args.scale, out=args.out,
                      names=args.only or None, seed=args.seed,
                      profile=args.profile)
@@ -142,13 +151,18 @@ def _trace_platform_companion(scale: SimScale, seed: int) -> None:
     from repro.aggregation import deploy_boxes
     from repro.aggbox.functions import SearchResult, TopKFunction
     from repro.core.platform import NetAggPlatform
+    from repro.faults import FaultSchedule, PlatformFaultInjector
     from repro.topology.threetier import three_tier
     from repro.wire.records import decode_search_results, \
         encode_search_results
 
     topo = three_tier(scale.topo)
     deploy_boxes(topo)
-    platform = NetAggPlatform(topo)
+    # An empty fault schedule (rather than faults=None) makes the shim
+    # probe each box and burn send latency, so the platform spans in
+    # the trace have real durations for the critical-path extractor.
+    platform = NetAggPlatform(
+        topo, faults=PlatformFaultInjector(FaultSchedule()))
     function = TopKFunction(k=10)
     platform.register_app("topk", function,
                           encode_search_results, decode_search_results)
@@ -206,7 +220,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"tracing {name} (scale={args.scale}) ...", file=sys.stderr)
         _, elapsed = run_experiment(name, scale, args.seed)
         _trace_platform_companion(scale, args.seed)
-    write_trace(tracer, out, metrics=METRICS.snapshot())
+    snapshot = METRICS.snapshot()
+    write_trace(tracer, out, metrics=snapshot)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out}: {len(snapshot)} metrics")
     spans = tracer.spans
     layers = ", ".join(
         f"{layer}={sum(1 for s in spans if s.layer == layer)}"
@@ -225,6 +245,121 @@ STRATEGIES = {
     "chain": ("ChainStrategy", False),
     "netagg": ("NetAggStrategy", True),
 }
+
+
+def _sweep_strategies(scale: SimScale, names: List[str], seed: int) -> None:
+    """Simulate each named strategy once under the ambient tracer.
+
+    Every :func:`repro.experiments.common.simulate` call produces one
+    ``flowsim.run`` span labelled with the strategy's name, so the
+    diagnosis gets one run (and one bottleneck table) per strategy.
+    """
+    import repro.aggregation as aggregation
+    from repro.experiments.common import simulate
+
+    for name in names:
+        if name not in STRATEGIES:
+            raise SystemExit(
+                f"unknown strategy {name!r} "
+                f"(choose from {', '.join(sorted(STRATEGIES))})")
+        factory_name, needs_boxes = STRATEGIES[name]
+        strategy = getattr(aggregation, factory_name)()
+        simulate(scale, strategy,
+                 deploy=aggregation.deploy_boxes if needs_boxes else None,
+                 seed=seed)
+
+
+def _diagnosis_result(diagnosis: dict, source: str) -> ExperimentResult:
+    """Wrap a diagnosis dict in an ExperimentResult for reporting."""
+    from repro.obs.analyze import CATEGORIES
+
+    result = ExperimentResult(
+        experiment="analyze",
+        description=f"Critical-path and bottleneck diagnosis of {source}",
+        columns=("run", "dominant_tier", "bottleneck_link") + CATEGORIES,
+        notes="Fractions are critical-path seconds per category / total "
+              "attributed seconds (they sum to 1).  The bottleneck link "
+              "is the top row of the run's credit-ranked link table.",
+    )
+    for run in diagnosis.get("runs", []):
+        timeline = run.get("timeline", {})
+        links = timeline.get("links", [])
+        fractions = (run.get("critical_path") or {}).get("fractions", {})
+        result.add_row(**{
+            "run": run.get("strategy") or "(unlabelled)",
+            "dominant_tier": timeline.get("dominant_tier", ""),
+            "bottleneck_link": links[0]["link"] if links else "",
+            **{cat: round(float(fractions.get(cat, 0.0)), 4)
+               for cat in CATEGORIES},
+        })
+    platform = diagnosis.get("platform")
+    if platform:
+        fractions = platform.get("fractions", {})
+        result.add_row(**{
+            "run": "platform",
+            "dominant_tier": platform.get("dominant", ""),
+            "bottleneck_link": "",
+            **{cat: round(float(fractions.get(cat, 0.0)), 4)
+               for cat in CATEGORIES},
+        })
+    result.diagnosis = diagnosis
+    return result
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.report import summarise
+
+    if bool(args.trace) == bool(args.run or args.strategies):
+        raise SystemExit(
+            "analyze needs exactly one source: --trace <file>, or "
+            "--run <experiment> (optionally with --strategies)")
+
+    if args.trace:
+        from repro.obs.analyze import diagnose_file
+
+        diagnosis = diagnose_file(args.trace)
+        source = args.trace
+    else:
+        from repro.obs import METRICS, Tracer, tracing
+        from repro.obs.analyze import diagnose_tracer
+
+        scale = SCALES[args.scale]
+        if args.incast:
+            # The paper's §2 partition/aggregate microbenchmark: wide
+            # fan-in per job, workers scattered across racks.  This is
+            # the configuration under which the edge->core bottleneck
+            # shift between `none` and `netagg` is visible at small
+            # scale.
+            scale = scale.with_workload(min_workers=24,
+                                        random_placement=True)
+        tracer = Tracer()
+        METRICS.reset()
+        with tracing(tracer):
+            if args.strategies:
+                names = [n.strip() for n in args.strategies.split(",")
+                         if n.strip()]
+                print(f"simulating strategies {', '.join(names)} "
+                      f"(scale={args.scale}) ...", file=sys.stderr)
+                _sweep_strategies(scale, names, args.seed)
+                source = f"strategies {','.join(names)}"
+            else:
+                name = resolve(args.run)
+                print(f"tracing {name} (scale={args.scale}) ...",
+                      file=sys.stderr)
+                run_experiment(name, scale, args.seed)
+                _trace_platform_companion(scale, args.seed)
+                source = name
+        diagnosis = diagnose_tracer(tracer)
+
+    result = _diagnosis_result(diagnosis, source)
+    print(result.to_text())
+    print(summarise(result))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -274,6 +409,8 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.bench import DEFAULT_MAX_REGRESS
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate NetAgg's evaluation figures and tables.",
@@ -308,7 +445,45 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--profile", action="store_true",
                        help="cProfile the slowest experiment "
                             "(dumps <out>.prof)")
+    bench.add_argument("--compare", metavar="BASELINE",
+                       help="regression gate: re-time the baseline's "
+                            "experiments (at its scale/seed) and exit "
+                            "non-zero on slowdowns")
+    bench.add_argument("--max-regress", type=float,
+                       default=DEFAULT_MAX_REGRESS,
+                       help="allowed fractional slowdown for --compare "
+                            f"(default: {DEFAULT_MAX_REGRESS})")
+    bench.add_argument("--trajectory", default="BENCH_trajectory.jsonl",
+                       help="JSONL file --compare appends each "
+                            "comparison to (default: "
+                            "BENCH_trajectory.jsonl)")
     bench.set_defaults(func=cmd_bench)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="critical-path and bottleneck diagnosis of a trace or run")
+    analyze.add_argument("--trace", metavar="FILE",
+                         help="analyze an exported trace_event JSON")
+    analyze.add_argument("--run", metavar="EXPERIMENT",
+                         help="run this experiment under a tracer and "
+                              "analyze the live trace")
+    analyze.add_argument("--strategies", metavar="A,B,...",
+                         help="instead of an experiment, simulate these "
+                              "strategies (none, rack, binary, chain, "
+                              "netagg) on the scale's workload and "
+                              "diagnose each run")
+    analyze.add_argument("--incast", action="store_true",
+                         help="use the paper's incast microbenchmark "
+                              "workload (wide fan-in, random placement) "
+                              "-- shows the edge->core bottleneck shift")
+    analyze.add_argument("--scale", choices=sorted(SCALES),
+                         default="quick",
+                         help="simulation scale (default: quick)")
+    analyze.add_argument("--seed", type=int, default=1)
+    analyze.add_argument("--out",
+                         help="write the ExperimentResult (with embedded "
+                              "JSON diagnosis) to this file")
+    analyze.set_defaults(func=cmd_analyze)
 
     trace = sub.add_parser(
         "trace",
@@ -328,6 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path (trace_event JSON for "
                             "experiments, JSONL for 'generate'; default: "
                             "trace_<experiment>.json)")
+    trace.add_argument("--metrics-out", metavar="PATH",
+                       help="also dump the METRICS registry snapshot as "
+                            "JSON (experiment tracing only)")
     trace.set_defaults(func=cmd_trace)
 
     replay = sub.add_parser(

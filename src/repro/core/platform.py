@@ -301,11 +301,16 @@ class NetAggPlatform:
             raise KeyError(f"app {app!r} is not registered")
 
     def _emit_event(self, events: List[ShimEvent], kind: str, source: str,
-                    target: str, attempt: int = 0, detail: str = "") -> None:
+                    target: str, attempt: int = 0, detail: str = "",
+                    request: str = "", **tags: object) -> None:
         """Record one shim lifecycle event everywhere it is observed:
         the outcome's audit trail, the ``platform.shim.<kind>`` tally
         in the metrics registry, and (when tracing) an instant on the
-        platform timeline."""
+        platform timeline.  ``request`` threads the originating request
+        id onto the instant (the critical-path extractor groups shim
+        events per request by it); extra ``tags`` land on the instant
+        only.
+        """
         events.append(ShimEvent(at=self._clock, kind=kind, source=source,
                                 target=target, attempt=attempt,
                                 detail=detail))
@@ -314,7 +319,7 @@ class NetAggPlatform:
         if tracer.enabled:
             tracer.instant(f"shim.{kind}", self._clock, layer="platform",
                            source=source, target=target, attempt=attempt,
-                           detail=detail)
+                           detail=detail, request=request, **tags)
 
     def _admit(self, tenant: str) -> None:
         """Admission gate: raises AdmissionNack when the shim refuses."""
@@ -343,7 +348,8 @@ class NetAggPlatform:
         breaker = (self._breakers.breaker(box_id)
                    if self._breakers is not None else None)
         if breaker is not None and not breaker.allow(self._clock):
-            self._emit_event(events, "breaker-open", request_key, box_id)
+            self._emit_event(events, "breaker-open", request_key, box_id,
+                             request=request_key)
             return False
         attempts = policy.max_attempts
         if breaker is not None and breaker.state == HALF_OPEN:
@@ -360,7 +366,8 @@ class NetAggPlatform:
                         and self._clock - started >= policy.deadline:
                     self._emit_event(events, "deadline", request_key,
                                      box_id, attempt=attempt - 1,
-                                     detail=f"budget {policy.deadline:g}")
+                                     detail=f"budget {policy.deadline:g}",
+                                     request=request_key)
                     return False
                 if not self._faults.box_down(box_id, self._clock):
                     self._clock += policy.send_latency
@@ -369,7 +376,7 @@ class NetAggPlatform:
                     return True
                 self._clock += policy.timeout
                 self._emit_event(events, "retry", request_key, box_id,
-                                 attempt=attempt)
+                                 attempt=attempt, request=request_key)
                 if breaker is not None:
                     breaker.record_failure(self._clock)
                 if attempt < attempts:
@@ -422,18 +429,21 @@ class NetAggPlatform:
                         reachable = False
                         nacked.add(box_id)
                         self._emit_event(events, "nack", request_key,
-                                         box_id, detail=reason)
+                                         box_id, detail=reason,
+                                         request=request_key)
                 probes[box_id] = reachable
             if not reachable and box_id in effective.boxes:
                 effective = rewire_failed_box(effective, box_id)
                 if box_id not in nacked:
                     self._emit_event(events, "unreachable", request_key,
                                      box_id,
-                                     attempt=self._retry.max_attempts)
+                                     attempt=self._retry.max_attempts,
+                                     request=request_key)
         return effective
 
     def _note_degradation(self, box_id: str, source: str,
-                          events: List[ShimEvent]) -> None:
+                          events: List[ShimEvent],
+                          request: str = "") -> None:
         """Charge a delivery's clock cost, inflated if the box is slow."""
         if self._faults is None:
             return
@@ -441,13 +451,16 @@ class NetAggPlatform:
         overload = getattr(self._faults, "overload_factor", None)
         if overload is not None:
             factor *= overload(box_id, self._clock)
-        self._clock += self._retry.send_latency * factor
+        cost = self._retry.send_latency * factor
+        self._clock += cost
         if factor > 1.0:
             self._emit_event(events, "degraded", source, box_id,
-                             detail=f"x{factor:g}")
+                             detail=f"x{factor:g}", request=request,
+                             cost=cost)
 
     def _wait_out_churn(self, worker_index: int,
-                        events: List[ShimEvent]) -> None:
+                        events: List[ShimEvent],
+                        request: str = "") -> None:
         """A churning worker holds its emission until the window ends."""
         if self._faults is None:
             return
@@ -455,7 +468,8 @@ class NetAggPlatform:
         if until is not None and until > self._clock:
             self._emit_event(events, "churn", f"worker:{worker_index}",
                              f"worker:{worker_index}",
-                             detail=f"until {until:g}")
+                             detail=f"until {until:g}", request=request,
+                             until=until)
             self._clock = until
 
     def _run_on_trees(
@@ -528,7 +542,7 @@ class NetAggPlatform:
                     ready.append((box_id, delta, f"box:{box_id}@d{k}"))
 
             for index, (host, value) in enumerate(worker_partials):
-                self._wait_out_churn(index, events)
+                self._wait_out_churn(index, events, request=request_id)
                 wshim = WorkerShim(host, index, [original])
                 landed, emitted, nbytes = wshim.send(value, transport)
                 bytes_in += nbytes
@@ -559,8 +573,10 @@ class NetAggPlatform:
                             app, tree_request, +1)
                     parent_emitted, nbytes = self._feed_box(
                         app, tree_request, parent, tag, emitted.value, rng,
+                        origin=request_id,
                     )
-                    self._note_degradation(parent, tag, events)
+                    self._note_degradation(parent, tag, events,
+                                           request=request_id)
                     bytes_in += nbytes
                     enqueue_shed(parent)
                     if parent_emitted is not None:
@@ -599,17 +615,27 @@ class NetAggPlatform:
         return f"{request_id}@t{tree.tree_index}"
 
     def _feed_box(self, app: str, request_id: str, box_id: str,
-                  source: str, value: Any, rng: random.Random):
-        """Serialise, frame, chunk and deliver one partial to a box."""
+                  source: str, value: Any, rng: random.Random,
+                  origin: str = ""):
+        """Serialise, frame, chunk and deliver one partial to a box.
+
+        ``origin`` is the platform-level request id behind this
+        delivery (``request_id`` is the per-tree key ``<origin>@t<k>``);
+        it is threaded onto the delivery span and, via
+        :attr:`AggBoxRuntime.trace_origin`, onto every span/instant the
+        box emits while processing the chunks.
+        """
         runtime = self._boxes[box_id]
         # Keep the box's clock in step so health transitions and
         # heartbeats are stamped with platform virtual time.
         runtime.clock = max(runtime.clock, self._clock)
+        runtime.trace_origin = origin
         binding = runtime.binding(app)
         payload = frame(binding.serialise(value))
         with get_tracer().span("platform.deliver", lambda: self._clock,
                                layer="platform", box=box_id,
-                               source=source, bytes=len(payload)):
+                               source=source, bytes=len(payload),
+                               request=origin):
             emitted = None
             offset = 0
             while offset < len(payload):
@@ -658,15 +684,18 @@ class _RequestTransport:
     def record(self, kind: str, source: str, target: str,
                detail: str = "") -> None:
         self._platform._emit_event(self._events, kind, source, target,
-                                   detail=detail)
+                                   detail=detail,
+                                   request=self._request_id)
 
     def deliver_box(self, box_id: str, worker_index: int, value: Any):
         emitted, nbytes = self._platform._feed_box(
             self._app, self._tree_request, box_id,
             f"worker:{worker_index}", value, self._rng,
+            origin=self._request_id,
         )
         self._platform._note_degradation(
-            box_id, f"worker:{worker_index}", self._events)
+            box_id, f"worker:{worker_index}", self._events,
+            request=self._request_id)
         return box_id, emitted, nbytes
 
     def deliver_master(self, worker_index: int, value: Any):

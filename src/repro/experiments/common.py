@@ -116,7 +116,7 @@ def simulate(
     workload = generate_workload(topo, scale.workload, seed=seed)
     if stragglers is not None:
         workload = inject_stragglers(workload, stragglers, seed=seed)
-    sim = FlowSim(topo.network)
+    sim = FlowSim(topo.network, label=getattr(strategy, "name", ""))
     sim.add_flows(strategy.plan(workload, topo, router))
     if injector is not None:
         injector.apply(sim, workload)
@@ -160,6 +160,10 @@ class ExperimentResult:
     #: Flat observability snapshot (``repro.obs.METRICS.snapshot()``)
     #: captured by the runner; empty when the run was not instrumented.
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Trace diagnosis (``repro.obs.analyze``): per-request critical
+    #: paths and ranked link bottlenecks.  Attached by ``python -m
+    #: repro analyze``; empty for plain runs.
+    diagnosis: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, **values: object) -> None:
         missing = set(self.columns) - set(values)
@@ -201,6 +205,8 @@ class ExperimentResult:
         }
         if self.metrics:
             data["metrics"] = dict(self.metrics)
+        if self.diagnosis:
+            data["diagnosis"] = dict(self.diagnosis)
         return data
 
     @classmethod
@@ -211,6 +217,7 @@ class ExperimentResult:
             columns=tuple(data["columns"]),
             notes=data.get("notes", ""),
             metrics=dict(data.get("metrics", {})),
+            diagnosis=dict(data.get("diagnosis", {})),
         )
         for row in data["rows"]:
             result.add_row(**row)

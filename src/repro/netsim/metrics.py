@@ -8,6 +8,7 @@ and of per-link traffic.  These helpers compute those series from
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -96,8 +97,17 @@ def relative_p99(
     """
     ours = fct_summary(result, aggregatable=aggregatable).p99
     base = fct_summary(baseline, aggregatable=aggregatable).p99
+    # NaN (an empty baseline selection summarised with empty_ok
+    # upstream) compares False against everything, so it would slip
+    # past the <= 0 guard and silently poison every ratio downstream.
+    if math.isnan(base):
+        raise ValueError(
+            "baseline p99 FCT is NaN; nothing to normalise "
+            f"({_filter_context(baseline, None, aggregatable)})")
     if base <= 0:
-        raise ValueError("baseline p99 FCT is zero; nothing to normalise")
+        raise ValueError(
+            "baseline p99 FCT is zero; nothing to normalise "
+            f"({_filter_context(baseline, None, aggregatable)})")
     return ours / base
 
 

@@ -41,7 +41,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.netsim.incremental import IncrementalMaxMin, SolverStats
 from repro.netsim.network import Network
-from repro.obs import METRICS, get_tracer
+from repro.obs import LINK_UTIL_PREFIX, METRICS, get_tracer
 from repro.units import EPSILON
 
 #: Registry names the simulator writes (the ``netsim.*`` namespace).
@@ -241,10 +241,25 @@ class SimulationResult:
 
 
 class FlowSim:
-    """Simulate a set of flows over a :class:`Network` to completion."""
+    """Simulate a set of flows over a :class:`Network` to completion.
 
-    def __init__(self, network: Network) -> None:
+    ``label`` names the run in traces (the planning strategy, usually);
+    it lands on the ``flowsim.run`` span so multi-run traces stay
+    attributable.  ``link_sample_period`` throttles the traced per-link
+    utilization counter tracks: ``None`` (the default) emits a sample at
+    every rate epoch where a link's utilization changed, a positive
+    period additionally caps each link's track at one sample per period
+    (coarser timelines, smaller traces).  Sampling only happens under an
+    enabled tracer.
+    """
+
+    def __init__(self, network: Network, label: str = "",
+                 link_sample_period: Optional[float] = None) -> None:
+        if link_sample_period is not None and link_sample_period < 0:
+            raise ValueError("link_sample_period must be >= 0 (or None)")
         self._network = network
+        self._label = label
+        self._link_sample_period = link_sample_period
         self._specs: Dict[str, FlowSpec] = {}
         self._cap_events: List[CapacityEvent] = []
         self._reroute_events: List[RerouteEvent] = []
@@ -317,7 +332,16 @@ class FlowSim:
         run_span = tracer.begin(
             "flowsim.run", 0.0, layer="netsim",
             flows=len(self._specs), links=len(capacities),
+            strategy=self._label,
         ) if traced else 0
+        #: Per-link utilization sampling state (traced runs only).
+        wire_ids: Tuple[str, ...] = ()
+        last_util: Dict[str, float] = {}
+        last_sampled: Dict[str, float] = {}
+        if traced:
+            wire_ids = tuple(
+                link.link_id for link in self._network.wire_links()
+            )
         #: Current path per flow; reroute events replace entries.
         paths: Dict[str, Tuple[str, ...]] = {
             flow_id: spec.path for flow_id, spec in self._specs.items()
@@ -387,6 +411,22 @@ class FlowSim:
                 spec=self._specs[flow_id], drain_time=when,
                 admitted_time=admitted,
             )
+            if traced:
+                # One completed span per flow over its transfer window
+                # [admitted, drained].  Flows overlap freely, so they
+                # live on their own layer row (outside the LIFO stack)
+                # and link to the run span explicitly.  The tags carry
+                # the request/job DAG (children, path) the critical-path
+                # extractor reconstructs.
+                spec = self._specs[flow_id]
+                tracer.complete(
+                    "flow", admitted, when, layer="netsim.flow",
+                    parent_id=run_span,
+                    flow=flow_id, job=spec.job_id or "", kind=spec.kind,
+                    size=spec.size, wait=admitted - spec.start_time,
+                    path="|".join(paths[flow_id]),
+                    children="|".join(spec.children),
+                )
             for parent in dependents.get(flow_id, ()):
                 blockers[parent] -= 1
                 if blockers[parent] == 0:
@@ -519,6 +559,10 @@ class FlowSim:
                 )
                 tracer.sample("netsim.active_flows", now,
                               float(len(remaining)), layer="netsim")
+                self._sample_link_utilization(
+                    tracer, now, rates, remaining, stalled, paths,
+                    capacities, wire_ids, last_util, last_sampled,
+                )
             now += dt
             if traced:
                 tracer.end(epoch_span, now)
@@ -567,6 +611,52 @@ class FlowSim:
                                 end_time=end_time)
 
     # -- internals ---------------------------------------------------------
+
+    def _sample_link_utilization(
+        self,
+        tracer,
+        now: float,
+        rates: Dict[str, float],
+        remaining: Dict[str, float],
+        stalled: Set[str],
+        paths: Dict[str, Tuple[str, ...]],
+        capacities: Dict[str, float],
+        wire_ids: Tuple[str, ...],
+        last_util: Dict[str, float],
+        last_sampled: Dict[str, float],
+    ) -> None:
+        """Emit per-link utilization counter samples for this epoch.
+
+        The sample at ``now`` holds the link's allocated-bandwidth
+        fraction for the epoch starting at ``now`` (piecewise-constant
+        until the next sample on the same track).  Samples are emitted
+        on change only, optionally rate-limited per link by
+        ``link_sample_period``; the timeline analyzer integrates these
+        tracks into busy fractions and utilization percentiles.
+        """
+        used: Dict[str, float] = {}
+        for flow_id in remaining:
+            if flow_id in stalled:
+                continue
+            rate = rates[flow_id]
+            if rate <= 0.0 or rate == float("inf"):
+                continue
+            for link_id in paths[flow_id]:
+                used[link_id] = used.get(link_id, 0.0) + rate
+        period = self._link_sample_period
+        for link_id in wire_ids:
+            cap = capacities.get(link_id, 0.0)
+            util = (used.get(link_id, 0.0) / cap) if cap > 0 else 0.0
+            previous = last_util.get(link_id)
+            if previous is not None and abs(util - previous) <= 1e-12:
+                continue
+            if period and link_id in last_sampled \
+                    and now - last_sampled[link_id] < period:
+                continue
+            last_util[link_id] = util
+            last_sampled[link_id] = now
+            tracer.sample(LINK_UTIL_PREFIX + link_id, now, util,
+                          layer="netsim")
 
     def _validate_dependencies(self) -> None:
         state: Dict[str, int] = {}  # 0 = visiting, 1 = done

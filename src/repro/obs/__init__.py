@@ -47,6 +47,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.tracer import (
+    LINK_UTIL_PREFIX,
     NULL_TRACER,
     Instant,
     NullTracer,
@@ -63,6 +64,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instant",
+    "LINK_UTIL_PREFIX",
     "METRICS",
     "MetricsRegistry",
     "NULL_TRACER",

@@ -80,6 +80,12 @@ def to_trace_events(tracer: Tracer) -> List[dict]:
             "dur": max(0.0, (end - span.start) * _SECONDS_TO_US),
             "pid": 1,
             "tid": _tid(span.layer or "repro", tids),
+            # Exact virtual-clock seconds: ``ts``/``dur`` are scaled to
+            # microseconds for the viewers, which costs a few bits of
+            # precision; reloading a trace through repro.obs.analyze
+            # must reproduce live-tracer analysis bit for bit.
+            "t0": span.start,
+            "t1": end,
             "args": _clean_args({"span_id": span.span_id,
                                  "parent_id": span.parent_id,
                                  **span.tags}),
@@ -93,6 +99,12 @@ def to_trace_events(tracer: Tracer) -> List[dict]:
             "s": "t",
             "pid": 1,
             "tid": _tid(instant.layer or "repro", tids),
+            # ``seq`` keeps the tracer-wide record order across export
+            # (span ids double as sequence numbers) so the analyzer can
+            # segment a reloaded trace exactly like a live one; viewers
+            # ignore the unknown top-level keys.
+            "seq": instant.seq,
+            "t0": instant.at,
             "args": _clean_args(instant.tags),
         })
     for sample in tracer.samples:
@@ -103,6 +115,8 @@ def to_trace_events(tracer: Tracer) -> List[dict]:
             "ts": sample.at * _SECONDS_TO_US,
             "pid": 1,
             "tid": _tid(sample.layer or "repro", tids),
+            "seq": sample.seq,
+            "t0": sample.at,
             "args": {"value": sample.value},
         })
     # Thread-name metadata renders each layer as a labelled row.

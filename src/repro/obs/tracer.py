@@ -13,6 +13,12 @@ A :class:`Tracer` collects three record kinds:
   as a Perfetto counter track (per-epoch active flows, per-link
   utilization).
 
+Every record carries a ``seq`` drawn from one tracer-wide monotonic
+counter, so the interleaving of spans, instants and samples survives
+export (the layers run single-threaded, making the sequence a total
+order).  :mod:`repro.obs.analyze` uses it to segment a trace that holds
+several sequential simulator runs.
+
 Timestamps are whatever virtual clock the instrumented layer runs on
 (simulated seconds for the flow simulator, the platform's virtual
 clock for shims and boxes).  The tracer never reads wall time.
@@ -43,6 +49,11 @@ class Span:
     tags: Dict[str, object] = field(default_factory=dict)
 
     @property
+    def seq(self) -> int:
+        """Global record sequence number (spans use their id)."""
+        return self.span_id
+
+    @property
     def duration(self) -> float:
         if self.end is None:
             raise ValueError(f"span {self.name!r} ({self.span_id}) is open")
@@ -57,6 +68,7 @@ class Instant:
     at: float
     layer: str
     tags: Dict[str, object] = field(default_factory=dict)
+    seq: int = 0  #: global record sequence number
 
 
 @dataclass(frozen=True)
@@ -67,6 +79,13 @@ class Sample:
     at: float
     value: float
     layer: str = ""
+    seq: int = 0  #: global record sequence number
+
+
+#: Sample-name prefix of the simulator's per-link utilization counter
+#: tracks: ``link.util:<link_id>``.  Shared between the emitting layer
+#: (:mod:`repro.netsim.simulator`) and :mod:`repro.obs.analyze`.
+LINK_UTIL_PREFIX = "link.util:"
 
 
 class Tracer:
@@ -89,16 +108,42 @@ class Tracer:
               **tags: object) -> int:
         """Open a span; the innermost open span becomes its parent."""
         span = Span(
-            span_id=self._next_id,
+            span_id=self._take_seq(),
             parent_id=self._stack[-1].span_id if self._stack else None,
             name=name,
             layer=layer,
             start=at,
             tags=tags,
         )
-        self._next_id += 1
         self.spans.append(span)
         self._stack.append(span)
+        return span.span_id
+
+    def complete(self, name: str, start: float, end: float,
+                 layer: str = "", parent_id: Optional[int] = None,
+                 **tags: object) -> int:
+        """Record an already-finished span, bypassing the LIFO stack.
+
+        For intervals known only in hindsight -- e.g. a simulated flow's
+        ``[admitted, drained]`` window, recorded when the flow drains.
+        Such spans overlap freely, so they never participate in stack
+        parentage; ``parent_id`` links them explicitly (usually to the
+        enclosing run span).
+        """
+        if end < start:
+            raise ValueError(
+                f"span {name!r} ends at {end} before its start {start}"
+            )
+        span = Span(
+            span_id=self._take_seq(),
+            parent_id=parent_id,
+            name=name,
+            layer=layer,
+            start=start,
+            end=end,
+            tags=tags,
+        )
+        self.spans.append(span)
         return span.span_id
 
     def end(self, span_id: int, at: float) -> None:
@@ -134,12 +179,17 @@ class Tracer:
     def instant(self, name: str, at: float, layer: str = "",
                 **tags: object) -> None:
         self.instants.append(Instant(name=name, at=at, layer=layer,
-                                     tags=tags))
+                                     tags=tags, seq=self._take_seq()))
 
     def sample(self, name: str, at: float, value: float,
                layer: str = "") -> None:
         self.samples.append(Sample(name=name, at=at, value=value,
-                                   layer=layer))
+                                   layer=layer, seq=self._take_seq()))
+
+    def _take_seq(self) -> int:
+        seq = self._next_id
+        self._next_id += 1
+        return seq
 
     # -- inspection --------------------------------------------------------
 
@@ -203,6 +253,11 @@ class NullTracer(Tracer):
 
     def end(self, span_id: int, at: float) -> None:
         return None
+
+    def complete(self, name: str, start: float, end: float,
+                 layer: str = "", parent_id: Optional[int] = None,
+                 **tags: object) -> int:
+        return 0
 
     def span(self, name: str, clock: Callable[[], float], layer: str = "",
              **tags: object):

@@ -1,0 +1,320 @@
+"""Tests for the trace-analysis layer (repro.obs.analyze) and the
+bench regression gate.
+
+Covers: trace loading round-trips (a reloaded export diagnoses
+identically to the live tracer), critical-path attribution invariants
+(fractions sum to 1), the paper's edge->core bottleneck shift between
+`none` and `netagg` under the incast microbenchmark, the `analyze`
+CLI, and the `bench --compare` gate (passes on itself, fails on an
+injected slowdown).
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import SCALES, _trace_platform_companion, main, run_experiment
+from repro.obs import METRICS, Tracer, tracing, write_trace
+from repro.obs.analyze import (
+    CATEGORIES,
+    TraceData,
+    aggregate_paths,
+    diagnose_file,
+    diagnose_tracer,
+    link_credit,
+    link_tier,
+    run_timeline,
+    series_for_run,
+    simulator_paths,
+)
+from repro.obs.analyze.timeline import LinkSeries
+
+
+@pytest.fixture(scope="module")
+def fig06_tracer():
+    """fig06 at quick scale (plus the platform companion) traced live."""
+    tracer = Tracer()
+    METRICS.reset()
+    with tracing(tracer):
+        run_experiment("fig06_fct_cdf", SCALES["quick"], 1)
+        _trace_platform_companion(SCALES["quick"], 1)
+    return tracer
+
+
+@pytest.fixture(scope="module")
+def fig06_diagnosis(fig06_tracer):
+    return diagnose_tracer(fig06_tracer)
+
+
+class TestLinkTier:
+    def test_edge_core_box(self):
+        assert link_tier("host:12->tor:0") == "edge"
+        assert link_tier("tor:2->host:16") == "edge"
+        assert link_tier("tor:0->aggr:0:0") == "core"
+        assert link_tier("aggr:0:0->core:1") == "core"
+        assert link_tier("box:tor:0:0->tor:0") == "box"
+        assert link_tier("proc:box:tor:0:0") == "box"
+
+
+class TestLinkSeries:
+    def test_piecewise_constant_integral(self):
+        series = LinkSeries("l", [(0.0, 0.5), (2.0, 1.0)], end=4.0)
+        # 0.5 over [0,2), 1.0 over [2,4): integral 1 + 2 = 3.
+        assert series.integrate(0.0, 4.0) == pytest.approx(3.0)
+        assert series.integrate(1.0, 3.0) == pytest.approx(0.5 + 1.0)
+
+    def test_zero_before_first_sample(self):
+        series = LinkSeries("l", [(2.0, 1.0)], end=4.0)
+        assert series.integrate(0.0, 2.0) == 0.0
+        assert series.integrate(0.0, 3.0) == pytest.approx(1.0)
+
+
+class TestTraceRoundTrip:
+    def test_export_reload_diagnoses_identically(self, fig06_tracer,
+                                                 tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(fig06_tracer, str(path))
+        assert diagnose_file(path) == diagnose_tracer(fig06_tracer)
+
+    def test_runs_segmented_by_strategy(self, fig06_tracer):
+        trace = TraceData.from_tracer(fig06_tracer)
+        strategies = [run.strategy for run in trace.runs()]
+        # fig06 sweeps its four strategies, each as one flowsim.run.
+        assert strategies == ["rack", "binary", "chain", "netagg"]
+        for run in trace.runs():
+            assert run.spans, "run segment lost its spans"
+            assert any(s.name == "flow" for s in run.spans)
+
+
+class TestCriticalPath:
+    def test_fractions_sum_to_one(self, fig06_diagnosis):
+        runs = fig06_diagnosis["runs"]
+        assert len(runs) == 4
+        for run in runs:
+            cp = run["critical_path"]
+            assert cp["attributed_seconds"] > 0
+            assert sum(cp["fractions"].values()) == pytest.approx(
+                1.0, abs=1e-9)
+            for per_request in cp["top"]:
+                assert sum(per_request["fractions"].values()) \
+                    == pytest.approx(1.0, abs=1e-9)
+
+    def test_platform_section_attributed(self, fig06_diagnosis):
+        platform = fig06_diagnosis["platform"]
+        assert platform["requests"] == 1
+        assert platform["attributed_seconds"] > 0
+        assert sum(platform["fractions"].values()) == pytest.approx(
+            1.0, abs=1e-9)
+
+    def test_chain_covers_every_request(self, fig06_tracer):
+        trace = TraceData.from_tracer(fig06_tracer)
+        run = trace.runs()[0]
+        paths = simulator_paths(run, series_for_run(run))
+        jobs = {str(s.tags.get("job", "")) for s in run.spans
+                if s.name == "flow" and s.tags.get("job")}
+        assert {p.request for p in paths} == jobs
+        for path in paths:
+            assert path.chain, "critical path lost its blocking chain"
+            assert path.total == pytest.approx(
+                sum(hop["duration"] for hop in path.chain))
+
+    def test_link_credit_matches_chain_hops(self, fig06_tracer):
+        trace = TraceData.from_tracer(fig06_tracer)
+        run = trace.runs()[0]
+        paths = simulator_paths(run, series_for_run(run))
+        credit = link_credit(paths)
+        assert credit, "no links credited"
+        assert sum(credit.values()) <= sum(p.total for p in paths) + 1e-9
+
+    def test_aggregate_empty(self):
+        assert aggregate_paths([]) == {}
+
+
+class TestBottleneckShift:
+    """The paper's story: without aggregation an incast is bound at the
+    master's edge downlink; NetAgg moves the bottleneck into the core.
+    """
+
+    @pytest.fixture(scope="class")
+    def shift_diagnosis(self):
+        import repro.aggregation as aggregation
+        from repro.experiments.common import simulate
+
+        scale = SCALES["quick"].with_workload(min_workers=24,
+                                              random_placement=True)
+        tracer = Tracer()
+        with tracing(tracer):
+            simulate(scale, aggregation.NoAggregationStrategy(), seed=2)
+            simulate(scale, aggregation.NetAggStrategy(),
+                     deploy=aggregation.deploy_boxes, seed=2)
+        return diagnose_tracer(tracer)
+
+    def test_edge_to_core_shift(self, shift_diagnosis):
+        by_strategy = {run["strategy"]: run
+                       for run in shift_diagnosis["runs"]}
+        none = by_strategy["none"]["timeline"]
+        netagg = by_strategy["netagg"]["timeline"]
+        assert none["dominant_tier"] == "edge"
+        assert netagg["dominant_tier"] == "core"
+        # The ranked table's top link moves tiers too.
+        assert none["links"][0]["tier"] == "edge"
+        assert netagg["links"][0]["tier"] == "core"
+
+    def test_core_fraction_rises(self, shift_diagnosis):
+        fractions = {run["strategy"]: run["critical_path"]["fractions"]
+                     for run in shift_diagnosis["runs"]}
+        assert fractions["netagg"]["core-link"] \
+            > fractions["none"]["core-link"]
+        assert fractions["none"]["edge-link"] \
+            > fractions["netagg"]["edge-link"]
+
+
+class TestTimeline:
+    def test_table_ranked_by_credit(self, fig06_tracer):
+        trace = TraceData.from_tracer(fig06_tracer)
+        run = trace.runs()[0]
+        paths = simulator_paths(run, series_for_run(run))
+        report = run_timeline(run, credit=link_credit(paths))
+        credits = [s.cp_seconds for s in report.links]
+        assert credits == sorted(credits, reverse=True)
+        assert report.links[0].cp_seconds > 0
+        assert report.end_time > 0
+
+    def test_tier_busy_bounded(self, fig06_diagnosis):
+        for run in fig06_diagnosis["runs"]:
+            for value in run["timeline"]["tier_busy"].values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestAnalyzeCli:
+    def test_trace_file_mode(self, fig06_tracer, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        write_trace(fig06_tracer, str(path))
+        out = tmp_path / "result.json"
+        assert main(["analyze", "--trace", str(path),
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "dominant_tier" in printed
+        assert "bottlenecks:" in printed
+        payload = json.loads(out.read_text())
+        assert payload["diagnosis"]["schema"] == 1
+        rows = {row["run"]: row for row in payload["rows"]}
+        assert "netagg" in rows
+        assert sum(rows["netagg"][cat] for cat in CATEGORIES) \
+            == pytest.approx(1.0, abs=1e-3)  # rows round to 4 places
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+        with pytest.raises(SystemExit):
+            main(["analyze", "--trace", "x.json", "--run", "fig06"])
+
+
+class TestBenchCompare:
+    def _payload(self, **records):
+        return {
+            "scale": "bench",
+            "results": [
+                {"experiment": name, "ok": True, **fields}
+                for name, fields in records.items()
+            ],
+        }
+
+    def test_identical_payloads_pass(self):
+        from repro.bench import compare_payloads
+
+        payload = self._payload(
+            a={"seconds": 1.0, "events": 100},
+            b={"seconds": 2.0, "events": 200},
+        )
+        outcome = compare_payloads(copy.deepcopy(payload), payload)
+        assert outcome["regressions"] == []
+        assert outcome["compared"] == 2
+
+    def test_uniform_machine_slowdown_tolerated(self):
+        from repro.bench import compare_payloads
+
+        baseline = self._payload(
+            a={"seconds": 1.0, "events": 100},
+            b={"seconds": 2.0, "events": 200},
+            c={"seconds": 3.0, "events": 300},
+        )
+        current = copy.deepcopy(baseline)
+        for record in current["results"]:
+            record["seconds"] *= 2.0  # slower CI machine, same shape
+        outcome = compare_payloads(current, baseline)
+        assert outcome["regressions"] == []
+        assert outcome["median_ratio"] == pytest.approx(2.0)
+
+    def test_single_experiment_slowdown_trips(self):
+        from repro.bench import compare_payloads
+
+        baseline = self._payload(
+            a={"seconds": 1.0, "events": 100},
+            b={"seconds": 2.0, "events": 200},
+            c={"seconds": 3.0, "events": 300},
+        )
+        current = copy.deepcopy(baseline)
+        current["results"][0]["seconds"] *= 2.0  # only `a` regresses
+        outcome = compare_payloads(current, baseline)
+        assert any("a: wall time" in r for r in outcome["regressions"])
+
+    def test_counter_growth_trips(self):
+        from repro.bench import compare_payloads
+
+        baseline = self._payload(a={"seconds": 1.0, "events": 100,
+                                    "solver_calls": 10})
+        current = self._payload(a={"seconds": 1.0, "events": 250,
+                                   "solver_calls": 10})
+        outcome = compare_payloads(current, baseline)
+        assert any("events grew 2.50x" in r
+                   for r in outcome["regressions"])
+
+    def test_scale_mismatch_trips(self):
+        from repro.bench import compare_payloads
+
+        baseline = self._payload(a={"seconds": 1.0, "events": 100})
+        current = self._payload(a={"seconds": 1.0, "events": 100})
+        current["scale"] = "quick"
+        outcome = compare_payloads(current, baseline)
+        assert any("scale mismatch" in r for r in outcome["regressions"])
+
+    def test_now_failing_experiment_trips(self):
+        from repro.bench import compare_payloads
+
+        baseline = self._payload(a={"seconds": 1.0, "events": 100})
+        current = {"scale": "bench", "results": [
+            {"experiment": "a", "ok": False, "error": "boom"}]}
+        outcome = compare_payloads(current, baseline)
+        assert any("now failing" in r for r in outcome["regressions"])
+
+    def test_cli_gate_fails_on_injected_regression(self, tmp_path):
+        """`bench --compare` exits non-zero against a doctored baseline.
+
+        Halving the committed baseline's event count makes the (fully
+        deterministic) current run look like a 2x event regression, so
+        the gate must trip; wall time stays inside the single-experiment
+        normalisation caveat and cannot mask it.
+        """
+        baseline = json.loads(
+            open("BENCH_netsim.json", encoding="utf-8").read())
+        doctored = copy.deepcopy(baseline)
+        injected = False
+        for record in doctored["results"]:
+            if record["experiment"] == "fig06_fct_cdf":
+                record["events"] = int(record["events"] / 2)
+                injected = True
+        assert injected, "fig06_fct_cdf missing from committed baseline"
+        path = tmp_path / "doctored.json"
+        path.write_text(json.dumps(doctored))
+        trajectory = tmp_path / "trajectory.jsonl"
+        code = main(["bench", "--compare", str(path),
+                     "--only", "fig06_fct_cdf",
+                     "--trajectory", str(trajectory)])
+        assert code == 1
+        entries = [json.loads(line)
+                   for line in trajectory.read_text().splitlines()]
+        assert len(entries) == 1
+        assert any("events grew 2.00x" in r
+                   for r in entries[0]["regressions"])

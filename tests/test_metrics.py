@@ -73,6 +73,29 @@ class TestRelativeP99:
         fast = run_sim([10.0, 20.0], capacity=10.0)
         assert relative_p99(fast, slow) == pytest.approx(0.5)
 
+    def test_nan_baseline_raises_with_context(self):
+        # A flow that never drained (e.g. a truncated or stalled run)
+        # keeps its NaN drain_time, so the baseline p99 is NaN; NaN
+        # compares False against 0 and used to slip past the zero
+        # guard, silently poisoning every downstream ratio.
+        from repro.netsim.simulator import (
+            FlowRecord,
+            SimulationResult,
+        )
+
+        net = Network([Link("l", 10.0)])
+        stalled = SimulationResult(
+            records={"f0": FlowRecord(
+                spec=FlowSpec("f0", size=10.0, path=("l",)),
+                drain_time=float("nan"))},
+            network=net, end_time=1.0)
+        result = run_sim([10.0, 20.0])
+        with pytest.raises(ValueError) as err:
+            relative_p99(result, stalled)
+        message = str(err.value)
+        assert "NaN" in message
+        assert "simulated flows=1" in message
+
 
 class TestCdfs:
     def test_fct_cdf_reaches_one(self):

@@ -8,7 +8,6 @@ contract -- that a disabled tracer leaves experiment output
 byte-identical.
 """
 
-import json
 import math
 import subprocess
 import sys
@@ -282,7 +281,10 @@ class TestInstrumentation:
         assert t.finished()
         names = {s.name for s in t.spans}
         assert "flowsim.run" in names and "epoch" in names
-        assert all(s.layer == "netsim" for s in t.spans)
+        assert all(s.layer.startswith("netsim") for s in t.spans)
+        flows = [s for s in t.spans if s.name == "flow"]
+        assert len(flows) == 1 and flows[0].layer == "netsim.flow"
+        assert flows[0].tags["flow"] == "f"
         assert any(i.name == "link.traffic" for i in t.instants)
 
     def test_registry_counts_match_legacy_facade(self):

@@ -7,9 +7,14 @@ platform, health/queue stats on the boxes).  This check keeps it from
 growing back: outside ``src/repro/obs/``, modules may not
 
 - define a class whose name says it is a telemetry container
-  (``*Counters``, ``*Telemetry``, ``*Tally``, ``*MetricsRegistry``), or
+  (``*Counters``, ``*Telemetry``, ``*Tally``, ``*MetricsRegistry``),
 - bind a module-level ``COUNTERS`` / ``METRICS`` / ``TELEMETRY``-style
-  global to a fresh container.
+  global to a fresh container, or
+- parse raw trace payloads ad hoc: mention the ``traceEvents`` key or
+  define a ``parse/load/read`` + ``trace`` function.  Trace files are
+  consumed through ``repro.obs.analyze.TraceData`` (and written by
+  ``repro.obs.export``) so the exporter's schema quirks -- exact-time
+  ``t0``/``t1`` keys, seq-encoded ordering -- live in one place.
 
 Allowlisted: ``repro.netsim.simulator``'s ``SimCounters``/``COUNTERS``
 pair, which survives as a *deprecated facade* over ``repro.obs.METRICS``
@@ -40,6 +45,10 @@ CLASS_PATTERN = re.compile(
 #: Module-level globals that read as telemetry singletons.
 GLOBAL_PATTERN = re.compile(r"^(COUNTERS|METRICS|TELEMETRY|STATS)$")
 
+#: Function names that read as ad-hoc trace-payload parsers.
+TRACE_FN_PATTERN = re.compile(
+    r"(?:^|_)(?:parse|load|read)\w*_trace|trace\w*_(?:parse|load|read)")
+
 #: (module relative to src/repro, symbol) pairs that may stay: the
 #: simulator's deprecated SimCounters facade over repro.obs.METRICS.
 ALLOWLIST = {
@@ -54,7 +63,9 @@ ALLOWLIST = {
 def check_file(path: pathlib.Path) -> List[Tuple[int, str]]:
     rel = path.relative_to(SRC).as_posix()
     problems: List[Tuple[int, str]] = []
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    problems.extend(_check_trace_parsing(tree))
     for node in tree.body:
         if isinstance(node, ast.ClassDef) \
                 and CLASS_PATTERN.search(node.name) \
@@ -78,6 +89,40 @@ def check_file(path: pathlib.Path) -> List[Tuple[int, str]]:
                     f"module-level {target.id!r} looks like a telemetry "
                     f"singleton; register metrics on repro.obs.METRICS",
                 ))
+    return problems
+
+
+def _check_trace_parsing(tree: ast.Module) -> List[Tuple[int, str]]:
+    """Flag ad-hoc trace-payload parsing (module docstring, rule 3).
+
+    Docstrings are exempt (they may *describe* the format); string
+    constants used as code -- dict keys, comparisons -- are not.
+    """
+    problems: List[Tuple[int, str]] = []
+    docstrings = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = node.body
+            if body and isinstance(body[0], ast.Expr) \
+                    and isinstance(body[0].value, ast.Constant) \
+                    and isinstance(body[0].value.value, str):
+                docstrings.add(id(body[0].value))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and node.value == "traceEvents" \
+                and id(node) not in docstrings:
+            problems.append((
+                node.lineno,
+                "raw 'traceEvents' access outside repro.obs; load trace "
+                "files via repro.obs.analyze.TraceData",
+            ))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and TRACE_FN_PATTERN.search(node.name):
+            problems.append((
+                node.lineno,
+                f"function {node.name!r} looks like an ad-hoc trace "
+                f"parser; use repro.obs.analyze.TraceData instead",
+            ))
     return problems
 
 
