@@ -82,6 +82,20 @@ class AggregateReady:
     sources: List[str]
 
 
+@dataclass(frozen=True)
+class ParkedPartial:
+    """One partial removed from a box by :meth:`AggBoxRuntime.park_pending`.
+
+    Carries everything needed to replay the partial elsewhere (cutover)
+    or back into the same box (rollback) under its original source tag.
+    """
+
+    app: str
+    request_id: str
+    source: str
+    value: Any
+
+
 class AggBoxRuntime:
     """Hosts aggregation functions and merges partial results.
 
@@ -322,6 +336,48 @@ class AggBoxRuntime:
         arrived.  The recovery protocol replays them.
         """
         return list(self._state(app, request_id).sources)
+
+    def park_pending(
+        self,
+        app: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ) -> List[ParkedPartial]:
+        """Remove buffered partials for migration, *without* folding them.
+
+        The drain phase of a migration calls this: the returned partials
+        are no longer this box's responsibility and will be replayed --
+        into the destination on cutover, or back into this box on
+        rollback.  Unlike :meth:`relieve`, parked sources are **not**
+        moved to the duplicate-suppression set and the expected count is
+        untouched, so a replay under the original source tags is
+        accepted exactly once wherever it lands.  ``app``/``request_id``
+        filter what is parked (None = everything pending).
+        """
+        parked: List[ParkedPartial] = []
+        for (state_app, rid), state in sorted(self._requests.items()):
+            if app is not None and state_app != app:
+                continue
+            if request_id is not None and rid != request_id:
+                continue
+            if not state.partials:
+                continue
+            parked.extend(
+                ParkedPartial(app=state_app, request_id=rid,
+                              source=source, value=value)
+                for source, value in zip(state.sources, state.partials)
+            )
+            self._pending[state_app] = \
+                self._pending.get(state_app, 0) - len(state.partials)
+            state.partials = []
+            state.sources = []
+            self._observe(state_app)
+        if parked:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant("box.park", self.clock, layer="aggbox",
+                               box=self.box_id, origin=self.trace_origin,
+                               parked=len(parked))
+        return parked
 
     def relieve(self, app: str) -> Optional[AggregateReady]:
         """Force one pressure-relief partial flush for ``app``.

@@ -57,7 +57,19 @@ PRESSURED = "pressured"
 SHEDDING = "shedding"
 FAILED = "failed"
 
+#: Report-only state: the platform substitutes ``suspect`` for a box
+#: whose heartbeat is older than the configured staleness threshold.
+#: A silent box may be healthy, wedged, or partitioned -- the optimizer
+#: must not trust its last-known state either way.  ``suspect`` never
+#: appears in :data:`LEGAL_TRANSITIONS`: it is a property of the
+#: *report*, not of the box's own health machine.
+SUSPECT = "suspect"
+
 HEALTH_STATES = (HEALTHY, PRESSURED, SHEDDING, FAILED)
+
+#: States a :class:`BoxHeartbeat` may carry (machine states plus the
+#: platform-synthesised ``suspect``).
+REPORTABLE_STATES = HEALTH_STATES + (SUSPECT,)
 
 #: state -> states it may legally transition to.
 LEGAL_TRANSITIONS: Dict[str, Tuple[str, ...]] = {

@@ -353,6 +353,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     result = _diagnosis_result(diagnosis, source)
     print(result.to_text())
+    optimizer = diagnosis.get("optimizer")
+    if optimizer:
+        print(_optimizer_text(optimizer))
     print(summarise(result))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -360,6 +363,39 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"wrote {args.out}", file=sys.stderr)
     return 0
+
+
+def _optimizer_text(optimizer: dict) -> str:
+    """Render the diagnosis's optimizer section for the terminal."""
+    actions = optimizer.get("actions", {})
+    migrations = optimizer.get("migrations", {})
+    lines = [
+        "== optimizer: self-healing actions ==",
+        "ticks={ticks} audits={audits} drains={drains} "
+        "undrains={undrains} parked={parked}".format(
+            ticks=optimizer.get("ticks", 0),
+            audits=optimizer.get("audits", 0),
+            drains=optimizer.get("drains", 0),
+            undrains=optimizer.get("undrains", 0),
+            parked=optimizer.get("parked", 0)),
+    ]
+    if actions:
+        lines.append("actions: " + "  ".join(
+            f"{kind}={count}" for kind, count in sorted(actions.items())))
+    if migrations:
+        lines.append("migrations: " + "  ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(migrations.items())))
+    for entry in optimizer.get("log", []):
+        lines.append(
+            "  t={at:8.3f}  {kind:<8s} {target:<20s} "
+            "[{strategy}] {reason}".format(
+                at=float(entry.get("at", 0.0)),
+                kind=str(entry.get("kind", "")),
+                target=str(entry.get("target", "")),
+                strategy=str(entry.get("strategy", "")),
+                reason=str(entry.get("reason", ""))))
+    return "\n".join(lines)
 
 
 def cmd_replay(args: argparse.Namespace) -> int:

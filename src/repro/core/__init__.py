@@ -18,7 +18,10 @@
 - :mod:`repro.core.admission` -- admission control at the master shim
   (per-tenant token buckets, queue-depth NACKs);
 - :mod:`repro.core.overload` -- the platform's overload-control
-  configuration tying queues, breakers and admission together.
+  configuration tying queues, breakers and admission together;
+- :mod:`repro.core.optimizer` -- the self-healing control plane: a
+  deterministic audit -> strategy -> action-plan -> apply loop that
+  migrates subtrees off sick boxes with two-phase drain-then-cutover.
 """
 
 from repro.core.admission import (
@@ -41,9 +44,25 @@ from repro.core.multicast import (
     plan_multicast_flows,
     plan_unicast_flows,
 )
+from repro.core.optimizer import (
+    Action,
+    ActionPlan,
+    ApplyResult,
+    Auditor,
+    AuditReport,
+    OptimizerLoop,
+    PlanApplier,
+    StrategyConfig,
+    get_strategy,
+)
 from repro.core.overload import OverloadConfig
 from repro.core.platform import NetAggPlatform
-from repro.core.recovery import InFlightRequest, RecoveryLog
+from repro.core.recovery import (
+    InFlightRequest,
+    MigrationAborted,
+    MigrationLog,
+    RecoveryLog,
+)
 from repro.core.shim import MasterShim, WorkerShim
 from repro.core.sockets import (
     NetAggSocketFactory,
@@ -65,6 +84,17 @@ __all__ = [
     "StragglerPolicy",
     "InFlightRequest",
     "RecoveryLog",
+    "MigrationAborted",
+    "MigrationLog",
+    "Action",
+    "ActionPlan",
+    "ApplyResult",
+    "Auditor",
+    "AuditReport",
+    "OptimizerLoop",
+    "PlanApplier",
+    "StrategyConfig",
+    "get_strategy",
     "CircuitBreaker",
     "BreakerBoard",
     "BreakerPolicy",

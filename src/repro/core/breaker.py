@@ -123,6 +123,21 @@ class CircuitBreaker:
                 self._move(CLOSED, now, "probe-success")
         self._failures = 0
 
+    def force_probe(self, now: float, reason: str = "recovery") -> None:
+        """Move an open breaker to half-open ahead of its timeout.
+
+        Called when an out-of-band signal says the target is back (e.g.
+        :meth:`repro.core.platform.NetAggPlatform.recover_box`): instead
+        of refusing sends for the rest of ``reset_timeout``, the very
+        next send probes the target.  A closed or already half-open
+        breaker is left untouched; failure of the probe re-opens the
+        breaker as usual, so a false recovery signal costs one attempt.
+        """
+        if self._state != OPEN:
+            return
+        self._move(HALF_OPEN, now, reason)
+        self._successes = 0
+
     def record_failure(self, now: float) -> None:
         """A connect attempt to the target timed out."""
         if self._state == HALF_OPEN:

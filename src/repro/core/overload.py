@@ -21,6 +21,10 @@ One :class:`OverloadConfig` switches on the whole overload plane of a
   feed reports ``pressured``/``shedding`` (or that sit inside a
   scheduled ``BOX_SHED`` window), pushing senders down the degradation
   ladder instead of into a saturated box.
+- ``heartbeat_staleness``: heartbeats older than this many virtual
+  seconds are reported as ``suspect`` instead of last-known-healthy,
+  so the optimizer never trusts a silent box (None disables the
+  check -- heartbeats are then trusted forever).
 """
 
 from __future__ import annotations
@@ -41,6 +45,14 @@ class OverloadConfig:
     breaker: Optional[BreakerPolicy] = None
     admission: Optional[AdmissionPolicy] = None
     avoid_pressured: bool = True
+    heartbeat_staleness: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_staleness is not None \
+                and self.heartbeat_staleness <= 0:
+            raise ValueError(
+                "heartbeat_staleness must be positive (or None)"
+            )
 
     def box_policy(self) -> Optional[OverloadPolicy]:
         """The queue policy as installed on platform boxes.

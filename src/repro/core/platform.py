@@ -31,12 +31,18 @@ fallback, bypass, degradation and churn wait is recorded as a
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.aggbox.box import AggBoxRuntime, AppBinding
 from repro.aggbox.functions import AggregationFunction
-from repro.aggbox.overload import PRESSURED, SHEDDING, BoxHeartbeat
+from repro.aggbox.overload import (
+    FAILED as BOX_FAILED,
+    PRESSURED,
+    SHEDDING,
+    SUSPECT,
+    BoxHeartbeat,
+)
 from repro.core.admission import AdmissionController
 from repro.core.breaker import HALF_OPEN, BreakerBoard
 from repro.core.failure import rewire_failed_box
@@ -109,6 +115,7 @@ class NetAggPlatform:
         self._functions: Dict[str, AggregationFunction] = {}
         self._mergers: Dict[str, Callable[[Sequence[Any]], Any]] = {}
         self._failed: Set[str] = set()
+        self._drained: Set[str] = set()
         self._master_shims: Dict[str, MasterShim] = {}
         self._faults = faults
         if retry is None and faults is not None:
@@ -186,12 +193,29 @@ class NetAggPlatform:
         """The master-shim admission controller (None when disabled)."""
         return self._admission
 
-    def health_report(self) -> Dict[str, BoxHeartbeat]:
-        """The health feed: one heartbeat per box, keyed by box id."""
-        return {
-            box_id: runtime.heartbeat(at=self._clock)
-            for box_id, runtime in sorted(self._boxes.items())
-        }
+    def health_report(
+        self, staleness: Optional[float] = None,
+    ) -> Dict[str, BoxHeartbeat]:
+        """The health feed: one heartbeat per box, keyed by box id.
+
+        ``staleness`` (defaulting to the overload config's
+        ``heartbeat_staleness``) bounds how long a heartbeat is trusted:
+        a box whose runtime clock lags the platform clock by more than
+        the threshold has not been heard from in that long, and its
+        report carries ``suspect`` instead of the last-known state.  A
+        box already reporting ``failed`` stays ``failed`` (worse news
+        wins).  ``None`` disables the check.
+        """
+        if staleness is None and self._overload is not None:
+            staleness = self._overload.heartbeat_staleness
+        report: Dict[str, BoxHeartbeat] = {}
+        for box_id, runtime in sorted(self._boxes.items()):
+            beat = runtime.heartbeat(at=self._clock)
+            if staleness is not None and beat.state != BOX_FAILED \
+                    and self._clock - runtime.clock > staleness:
+                beat = replace(beat, state=SUSPECT)
+            report[box_id] = beat
+        return report
 
     def fail_box(self, box_id: str) -> None:
         """Mark a box failed; future trees route around it (§3.1)."""
@@ -200,20 +224,51 @@ class NetAggPlatform:
         self._failed.add(box_id)
 
     def recover_box(self, box_id: str) -> None:
+        """Bring a failed box back into future tree plans.
+
+        Recovery is an out-of-band liveness signal, so the box's
+        circuit breaker (if any) is nudged from open to half-open:
+        the next send probes the box immediately instead of waiting
+        out the remainder of the breaker's reset timeout.
+        """
         self._failed.discard(box_id)
+        if self._breakers is not None:
+            self._breakers.breaker(box_id).force_probe(self._clock)
 
     def failed_boxes(self) -> Set[str]:
         return set(self._failed)
+
+    def drain_box(self, box_id: str) -> None:
+        """Plan future trees around a live box (optimizer drain phase).
+
+        Unlike :meth:`fail_box` the runtime stays up: parked partials
+        can still be read out of it and, on rollback, replayed into it.
+        """
+        if box_id not in self._boxes:
+            raise KeyError(f"unknown box {box_id!r}")
+        self._drained.add(box_id)
+
+    def undrain_box(self, box_id: str) -> None:
+        """Return a drained box to the planner (cutover done/rolled back)."""
+        self._drained.discard(box_id)
+
+    def drained_boxes(self) -> Set[str]:
+        return set(self._drained)
 
     # -- execution ------------------------------------------------------------
 
     def build_trees(self, key: str, master: str,
                     worker_hosts: Sequence[str],
                     n_trees: int = 1) -> List[AggregationTree]:
-        """Aggregation trees for the endpoints, failures rewired out."""
+        """Aggregation trees for the endpoints, failures rewired out.
+
+        Drained boxes (optimizer migrations in flight) are rewired out
+        the same way -- their runtimes are alive, but new work must not
+        land on them.
+        """
         trees = self._builder.build_many(key, master, worker_hosts, n_trees)
         for i, tree in enumerate(trees):
-            for box_id in sorted(self._failed):
+            for box_id in sorted(self._failed | self._drained):
                 if box_id in tree.boxes:
                     tree = rewire_failed_box(tree, box_id)
             trees[i] = tree

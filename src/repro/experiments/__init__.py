@@ -69,6 +69,7 @@ MODULES: List[str] = [
     "ablation_arrivals",
     "fig_failures",
     "fig_overload",
+    "fig_selfheal",
 ]
 
 

@@ -42,6 +42,7 @@ from repro.faults import (
     FaultSchedule,
     PlatformFaultInjector,
 )
+from repro.faults.retry import RetryPolicy
 from repro.netsim.metrics import fct_summary
 from repro.topology.threetier import three_tier
 from repro.wire.records import decode_search_results, encode_search_results
@@ -110,7 +111,11 @@ def _check_exact(scale: SimScale, seed: int,
     topo = three_tier(scale.topo)
     deploy_boxes(topo)
     faults = PlatformFaultInjector(schedule) if schedule else None
-    platform = NetAggPlatform(topo, faults=faults)
+    # Retries back off with seeded decorrelated jitter: same spread-out
+    # probing a fleet would get, byte-identical results per seed.
+    platform = NetAggPlatform(topo, faults=faults,
+                              retry=RetryPolicy(decorrelated=True,
+                                                seed=seed))
     function = TopKFunction(k=10)
     platform.register_app("topk", function,
                           encode_search_results, decode_search_results)

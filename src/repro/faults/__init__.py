@@ -7,8 +7,9 @@ package turns that story into a reusable chaos harness:
 
 - :mod:`repro.faults.schedule` -- a seedable :class:`FaultSchedule` of
   timestamped fault events (box crash/recover, capacity degradation,
-  link down/flap, worker churn, clock-skewed heartbeats, plus the
-  overload kinds ``box-overload``/``box-shed`` for saturation windows);
+  link down/flap, worker churn, clock-skewed heartbeats, the overload
+  kinds ``box-overload``/``box-shed`` for saturation windows, and
+  ``box-migrate`` for optimizer drain-then-cutover windows);
 - :mod:`repro.faults.retry` -- the shim-side :class:`RetryPolicy`:
   connect timeout, bounded exponential backoff with deterministic
   jitter;
@@ -31,6 +32,7 @@ from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import (
     BOX_CRASH,
     BOX_DEGRADE,
+    BOX_MIGRATE,
     BOX_OVERLOAD,
     BOX_RECOVER,
     BOX_SHED,
@@ -59,5 +61,6 @@ __all__ = [
     "CLOCK_SKEW",
     "BOX_OVERLOAD",
     "BOX_SHED",
+    "BOX_MIGRATE",
     "FAULT_KINDS",
 ]

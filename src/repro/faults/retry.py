@@ -6,6 +6,21 @@ ladder (next on-path box, then direct-to-master).  Real systems add
 random jitter to decorrelate retry storms; here the jitter is a hash of
 ``(key, attempt)`` so runs are bit-reproducible while different senders
 still spread out.
+
+Two jitter schemes are available:
+
+- the default multiplies each exponential backoff by a hash-derived
+  factor in ``[1 - jitter, 1]`` -- bounded, but senders that fail at
+  the same instant still share the exponential *envelope*, so their
+  retries cluster around the same doubling points (visible as aliasing
+  spikes in ``fig_failures``);
+- ``decorrelated=True`` switches to decorrelated jitter (the AWS
+  architecture-blog scheme): each delay is drawn uniformly from
+  ``[base_backoff, 3 * previous_delay]``, capped at ``max_backoff``.
+  Consecutive delays no longer share an envelope, so synchronized
+  senders spread out after the first retry.  The draw is seeded from
+  ``(key, attempt, seed)`` via :func:`repro.netsim.routing.stable_hash`,
+  so a given policy + key reproduces the same delays bit-for-bit.
 """
 
 from __future__ import annotations
@@ -41,6 +56,12 @@ class RetryPolicy:
             ``max_attempts`` remaining -- so a send can never exceed a
             request SLO.  None (the default) keeps attempts unbounded
             in time.
+        decorrelated: use decorrelated jitter instead of jittered
+            exponential backoff (see the module docstring); delays stay
+            within ``[base_backoff, max_backoff]`` and are a pure
+            function of ``(policy, key, attempt)``.
+        seed: extra entropy folded into the deterministic jitter hash,
+            so two deployments sharing retry keys still decorrelate.
     """
 
     timeout: float = 0.05
@@ -51,6 +72,8 @@ class RetryPolicy:
     jitter: float = 0.5
     send_latency: float = 0.001
     deadline: Optional[float] = None
+    decorrelated: bool = False
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.timeout <= 0:
@@ -75,17 +98,40 @@ class RetryPolicy:
         """Sleep before retry number ``attempt + 1`` (attempts from 1).
 
         Deterministic: the same ``(policy, attempt, key)`` always yields
-        the same delay, and the delay is within
-        ``[(1 - jitter) * b, b]`` for the un-jittered bound ``b``.
+        the same delay.  With the default scheme the delay is within
+        ``[(1 - jitter) * b, b]`` for the un-jittered bound ``b``;
+        with ``decorrelated=True`` it is within
+        ``[base_backoff, max_backoff]``.
         """
         if attempt < 1:
             raise ValueError("attempt numbers start at 1")
+        if self.decorrelated:
+            return self._decorrelated(attempt, key)
         raw = min(self.base_backoff * self.multiplier ** (attempt - 1),
                   self.max_backoff)
         if self.jitter == 0.0:
             return raw
         bucket = stable_hash(f"{key}#a{attempt}") % _JITTER_BUCKETS
         return raw * (1.0 - self.jitter * bucket / _JITTER_BUCKETS)
+
+    def _decorrelated(self, attempt: int, key: str) -> float:
+        """Decorrelated jitter, replayed from the first attempt.
+
+        ``sleep_n = min(cap, uniform(base, 3 * sleep_{n-1}))`` with
+        ``sleep_0 = base``; the uniform draw for step ``n`` hashes
+        ``(key, n, seed)``, so the whole sequence is a pure function of
+        the policy and the retry key.  Replaying from the start keeps
+        :meth:`backoff` stateless (the caller passes only the attempt
+        number), at O(attempt) hash cost -- attempts are small.
+        """
+        sleep = self.base_backoff
+        for step in range(1, attempt + 1):
+            bucket = stable_hash(
+                f"{key}#d{step}#s{self.seed}") % _JITTER_BUCKETS
+            frac = bucket / (_JITTER_BUCKETS - 1)
+            span = max(3.0 * sleep - self.base_backoff, 0.0)
+            sleep = min(self.base_backoff + frac * span, self.max_backoff)
+        return sleep
 
     def delays(self, key: str = "") -> List[float]:
         """All backoff sleeps of one full retry sequence for ``key``."""

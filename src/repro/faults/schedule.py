@@ -25,6 +25,11 @@ kind            meaning
 ``box-shed``    the box refuses *new* requests for ``duration`` s
                 (senders are NACKed down their degradation ladder;
                 in the flow simulator its ingress carries no traffic)
+``box-migrate`` the optimizer drains the box at ``time`` and cuts its
+                work over upstream after ``duration`` s; during the
+                window the box accepts no new trees (like a shed) and
+                the chaos suite may kill boxes *inside* the window to
+                exercise mid-migration recovery and rollback
 ==============  =====================================================
 """
 
@@ -44,11 +49,12 @@ WORKER_CHURN = "worker-churn"
 CLOCK_SKEW = "clock-skew"
 BOX_OVERLOAD = "box-overload"
 BOX_SHED = "box-shed"
+BOX_MIGRATE = "box-migrate"
 
 FAULT_KINDS = frozenset({
     BOX_CRASH, BOX_RECOVER, BOX_DEGRADE,
     LINK_DOWN, LINK_UP, WORKER_CHURN, CLOCK_SKEW,
-    BOX_OVERLOAD, BOX_SHED,
+    BOX_OVERLOAD, BOX_SHED, BOX_MIGRATE,
 })
 
 
@@ -231,6 +237,20 @@ class FaultSchedule:
                 return True
         return False
 
+    def migrating_at(self, target: str, t: float) -> bool:
+        """Is ``target`` inside a ``box-migrate`` drain window at ``t``?"""
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.kind == BOX_MIGRATE and event.target == target \
+                    and t < event.time + event.duration:
+                return True
+        return False
+
+    def migrations(self) -> List[FaultEvent]:
+        """All ``box-migrate`` events, in time order."""
+        return self.events_for(kind=BOX_MIGRATE)
+
     def permanent_crashes(self) -> Dict[str, float]:
         """Box id -> crash time, for crashes never followed by a recover."""
         last_crash: Dict[str, float] = {}
@@ -258,6 +278,7 @@ class FaultSchedule:
         skews: int = 0,
         overloads: int = 0,
         sheds: int = 0,
+        migrations: int = 0,
         mean_downtime: Optional[float] = None,
         permanent_fraction: float = 0.25,
     ) -> "FaultSchedule":
@@ -273,8 +294,8 @@ class FaultSchedule:
         """
         if duration <= 0:
             raise ValueError("duration must be positive")
-        if box_crashes + degradations + skews + overloads + sheds > 0 \
-                and not boxes:
+        if box_crashes + degradations + skews + overloads + sheds \
+                + migrations > 0 and not boxes:
             raise ValueError("box faults requested but no boxes given")
         if link_flaps > 0 and not links:
             raise ValueError("link flaps requested but no links given")
@@ -347,6 +368,15 @@ class FaultSchedule:
             events.append(FaultEvent(
                 time=start, kind=BOX_SHED, target=box,
                 duration=min(rng.uniform(0.05, 0.2) * duration,
+                             duration - start),
+            ))
+
+        for _ in range(migrations):
+            box = rng.choice(boxes)
+            start = rng.uniform(0.0, 0.8 * duration)
+            events.append(FaultEvent(
+                time=start, kind=BOX_MIGRATE, target=box,
+                duration=min(rng.uniform(0.02, 0.15) * duration,
                              duration - start),
             ))
 

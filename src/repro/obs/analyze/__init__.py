@@ -22,7 +22,13 @@ Diagnosis schema (version 1)::
      "runs": [{"strategy": ..., "end_time": ...,
                "timeline": {ranked links, tier_busy, dominant_tier},
                "critical_path": {seconds, fractions, dominant, top}}],
-     "platform": {seconds, fractions, dominant, top}}
+     "platform": {seconds, fractions, dominant, top},
+     "optimizer": {ticks, audits, actions, migrations, drains,
+                   undrains, parked, targets, log}}
+
+The ``optimizer`` section (present only when a control loop ran under
+the trace) attributes every self-healing action -- see
+:func:`repro.obs.analyze.optimizer.optimizer_report`.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ from repro.obs.analyze.timeline import (
     run_timeline,
     series_for_run,
 )
+from repro.obs.analyze.optimizer import optimizer_report
 from repro.obs.analyze.trace_data import (
     InstantRec,
     RunView,
@@ -91,6 +98,9 @@ def diagnose(trace: TraceData) -> Dict[str, object]:
     platform = aggregate_paths(platform_paths(trace))
     if platform:
         diagnosis["platform"] = platform
+    optimizer = optimizer_report(trace)
+    if optimizer:
+        diagnosis["optimizer"] = optimizer
     return diagnosis
 
 
@@ -126,6 +136,7 @@ __all__ = [
     "diagnose_tracer",
     "link_credit",
     "link_tier",
+    "optimizer_report",
     "platform_paths",
     "run_timeline",
     "series_for_run",

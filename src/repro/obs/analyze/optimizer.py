@@ -1,0 +1,83 @@
+"""Optimizer attribution: every control-loop action, from the trace.
+
+The self-healing control plane (:mod:`repro.core.optimizer`) emits
+``optimizer.*`` spans and instants as it works -- audits, per-action
+instants tagged with kind/target/reason, and per-migration
+drain/park/cutover/rollback records carrying an ``outcome`` tag.
+:func:`optimizer_report` folds a whole trace's worth into the
+``optimizer`` section of the diagnosis dict, so ``python -m repro
+analyze`` can answer "what did the optimizer do, to whom, and why" for
+any traced run without consulting the experiment that drove it.
+
+Optimizer records are collected trace-wide rather than per
+``flowsim.run`` window: the control loop ticks during *planning*, which
+happens before (and between) simulator runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.analyze.trace_data import TraceData
+
+#: Actions kept in the report's chronological log.
+_LOG_TOP = 50
+
+
+def optimizer_report(trace: TraceData) -> Dict[str, object]:
+    """The ``optimizer`` diagnosis section; ``{}`` when nothing ran.
+
+    Shape::
+
+        {"ticks": ..., "audits": ..., "actions": {kind: count},
+         "migrations": {"applied": n, "rolled-back": n,
+                        "failed-over": n},
+         "drains": n, "undrains": n, "parked": n,
+         "targets": {box_id: action count},
+         "log": [{at, kind, target, reason, strategy}, ...]}
+    """
+    audits = sum(1 for s in trace.spans if s.name == "optimizer.audit")
+    ticks = sum(1 for s in trace.spans if s.name == "optimizer.apply")
+    if not audits and not ticks:
+        return {}
+    actions: Dict[str, int] = {}
+    targets: Dict[str, int] = {}
+    log: List[Dict[str, object]] = []
+    migrations: Dict[str, int] = {}
+    drains = undrains = parked = 0
+    for rec in trace.instants:
+        if rec.name == "optimizer.action":
+            kind = str(rec.tags.get("kind", ""))
+            actions[kind] = actions.get(kind, 0) + 1
+            target = str(rec.tags.get("target", ""))
+            if target:
+                targets[target] = targets.get(target, 0) + 1
+            log.append({
+                "at": rec.at,
+                "kind": kind,
+                "target": target,
+                "reason": str(rec.tags.get("reason", "")),
+                "strategy": str(rec.tags.get("strategy", "")),
+            })
+        elif rec.name in ("optimizer.cutover", "optimizer.rollback"):
+            outcome = str(rec.tags.get("outcome", ""))
+            if outcome:
+                migrations[outcome] = migrations.get(outcome, 0) + 1
+        elif rec.name == "optimizer.drain":
+            drains += 1
+        elif rec.name == "optimizer.undrain":
+            undrains += 1
+        elif rec.name == "optimizer.park":
+            parked += int(rec.tags.get("parked", 0))
+    return {
+        "ticks": ticks,
+        "audits": audits,
+        "actions": actions,
+        "migrations": migrations,
+        "drains": drains,
+        "undrains": undrains,
+        "parked": parked,
+        "targets": dict(sorted(targets.items(),
+                               key=lambda kv: (-kv[1], kv[0]))),
+        "log": log[:_LOG_TOP],
+    }

@@ -50,6 +50,7 @@ from repro.core import (
 from repro.core.admission import NACK_REASONS
 from repro.core.breaker import assert_legal_breaker_transitions
 from repro.core.failure import rewire_failed_box
+from repro.core.recovery import InFlightRequest, MigrationAborted
 from repro.core.tree import TreeBuilder
 from repro.faults import (
     EmulatorFaultInjector,
@@ -452,3 +453,132 @@ class TestCascadingRewires:
             tree = rewire_failed_box(tree, victim)
             assert victim not in tree.boxes
             check_tree_invariants(tree, n_workers)
+
+
+# ---------------------------------------------------------------------------
+# Layer 5: mid-request and mid-migration failures (the optimizer's
+# drain-then-cutover protocol under chaos)
+
+
+def make_migration_request(host_ids, values):
+    """A live request over the shared topology with fresh box runtimes."""
+    tree = TreeBuilder(TOPO).build(
+        "req", "host:0", [f"host:{h}" for h in host_ids])
+    function = SumFunction()
+    boxes = {}
+    for info in TOPO.all_boxes():
+        runtime = AggBoxRuntime(info.box_id)
+        runtime.register_app(sum_binding())
+        boxes[info.box_id] = runtime
+    return InFlightRequest(
+        tree, boxes, "sum", "req", [float(v) for v in values],
+        merge=lambda parts: function.merge(parts),
+    )
+
+
+@st.composite
+def migration_scenario(draw):
+    n_workers = draw(st.integers(3, 6))
+    hosts = draw(st.lists(st.integers(1, N_HOSTS - 1),
+                          min_size=n_workers, max_size=n_workers,
+                          unique=True))
+    values = draw(st.lists(st.integers(1, 100), min_size=n_workers,
+                           max_size=n_workers))
+    pre_delivered = draw(st.sets(st.integers(0, n_workers - 1)))
+    victim_pick = draw(st.integers(0, 31))
+    action = draw(st.sampled_from(
+        ["none", "abort", "kill_source", "kill_dest", "kill_other"]))
+    return hosts, values, pre_delivered, victim_pick, action
+
+
+class TestMigrationChaos:
+    """Exactness survives failures landing *inside* a migration window.
+
+    The drain phase parks buffered partials without touching the
+    duplicate-suppression sets, so whatever the interruption does --
+    abort the migration (rollback), kill the migrating box, kill its
+    cutover destination, kill a bystander -- the replay lands exactly
+    once and the final aggregate equals the centralised computation.
+    """
+
+    @given(scenario=migration_scenario())
+    @CHAOS
+    def test_exactness_with_failure_between_drain_and_cutover(
+            self, scenario):
+        hosts, values, pre_delivered, victim_pick, action = scenario
+        request = make_migration_request(hosts, values)
+        request.announce_all()
+        for index in sorted(pre_delivered):
+            request.deliver_worker(index)
+        boxes = sorted(request.tree.boxes)
+        if not boxes:
+            return  # degenerate tree: every worker ships direct
+        victim = boxes[victim_pick % len(boxes)]
+        parent = request.tree.boxes[victim].parent
+        others = [b for b in boxes if b != victim and b != parent]
+
+        def interrupt():
+            if action == "abort":
+                raise MigrationAborted("chaos says no")
+            if action == "kill_source":
+                request.fail_box(victim)
+            elif action == "kill_dest" and parent is not None:
+                request.fail_box(parent)
+            elif action == "kill_other" and others:
+                request.fail_box(others[victim_pick % len(others)])
+
+        log = request.migrate_box(victim, interrupt=interrupt)
+        for index in range(len(hosts)):
+            if index not in pre_delivered:
+                request.deliver_worker(index)
+        # Exactness: nothing lost, nothing double-counted.
+        assert request.finish() == pytest.approx(sum(values))
+        if action == "abort":
+            assert log.rolled_back
+            assert log.replayed_to in ("", victim)
+        if action == "kill_dest" and parent is not None \
+                and log.dest_chain and log.dest_chain[0] == parent:
+            # First-choice destination died in the window: the replay
+            # walked the failover ladder instead of being lost.
+            assert log.failed_over or log.rolled_back
+
+    def test_rollback_replays_parked_partials_into_source(self):
+        """The dedicated rollback path: drain parks a delivered
+        partial, the migration aborts, and the parked value replays
+        into the still-live source under its original tag -- accepted
+        exactly once because parking cleared the suppression sets."""
+        hosts = [4, 5, 8, 12]
+        values = [1.0, 2.0, 4.0, 8.0]
+        request = make_migration_request(hosts, values)
+        request.announce_all()
+        request.deliver_worker(0)
+        victim = request.tree.worker_entry[0]
+        assert victim is not None
+
+        def abort():
+            raise MigrationAborted("cutover refused")
+
+        log = request.migrate_box(victim, interrupt=abort)
+        assert log.rolled_back
+        assert log.parked_sources == ["worker:0"]
+        request.deliver_worker(1)
+        request.deliver_worker(2)
+        request.deliver_worker(3)
+        assert request.finish() == pytest.approx(sum(values))
+
+    def test_source_crash_mid_window_loses_nothing(self):
+        """Drain parks first, so the source dying inside the window
+        cannot take buffered partials with it."""
+        hosts = [4, 5, 8, 12]
+        values = [1.0, 2.0, 4.0, 8.0]
+        request = make_migration_request(hosts, values)
+        request.announce_all()
+        request.deliver_worker(0)
+        victim = request.tree.worker_entry[0]
+        assert victim is not None
+        log = request.migrate_box(
+            victim, interrupt=lambda: request.fail_box(victim))
+        assert log.failed_over
+        for index in (1, 2, 3):
+            request.deliver_worker(index)
+        assert request.finish() == pytest.approx(sum(values))
