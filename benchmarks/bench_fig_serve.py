@@ -1,0 +1,20 @@
+"""fig_serve: per-tenant serving goodput and p99 vs offered load.
+
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
+"""
+
+from repro.experiments import BENCH, load
+
+
+def bench_fig_serve(benchmark):
+    exp = load("fig_serve")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=BENCH, loads=(0.5, 2.0), duration=1.0),
+        rounds=1, iterations=1,
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

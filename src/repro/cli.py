@@ -11,12 +11,21 @@ Usage (after ``pip install -e .``)::
     python -m repro bench --compare BENCH_netsim.json --max-regress 0.15
     python -m repro analyze --run fig06
     python -m repro analyze --trace trace_fig06.json
+    python -m repro serve --port 8080
+    python -m repro loadgen --users 1e6 --duration 60
     python -m repro info
 
 Experiment names accept the short form (``fig08``) or the full module
 name (``fig08_output_ratio``).  Every experiment goes through the
 registry in :mod:`repro.experiments` and the canonical
 ``run(scale=..., seed=...)`` entry point.
+
+Uniform contract: every workload-running subcommand (``run``,
+``bench``, ``trace``, ``analyze``, ``serve``, ``loadgen``) accepts the
+same ``--scale/--seed/--out`` trio (shared argparse parent,
+:func:`common_options`), and ``--out`` infers its format from the
+extension everywhere: ``*.json`` serialises, anything else gets the
+text rendering.
 """
 
 from __future__ import annotations
@@ -47,6 +56,49 @@ SCALES = {
     "default": DEFAULT,
     "paper": PAPER,
 }
+
+
+def common_options(scale_default: str = "bench",
+                   out_help: str = "write results to a file (*.json "
+                                   "serialises; any other extension gets "
+                                   "the text rendering)"
+                   ) -> argparse.ArgumentParser:
+    """The shared ``--scale/--seed/--out`` argparse parent.
+
+    Every workload-running subcommand composes this parent so the trio
+    spells and behaves identically across the CLI; only the scale
+    default and the ``--out`` help text vary per command.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--scale", choices=sorted(SCALES),
+                        default=scale_default,
+                        help=f"simulation scale (default: {scale_default})")
+    parent.add_argument("--seed", type=int, default=1,
+                        help="deterministic RNG seed (default: 1)")
+    parent.add_argument("--out", help=out_help)
+    return parent
+
+
+def write_result(result: ExperimentResult, out: Optional[str],
+                 announce: bool = True) -> None:
+    """Write one result to ``out``, format inferred from the extension.
+
+    ``*.json`` gets ``ExperimentResult.to_dict`` (round-trippable);
+    anything else gets ``to_text``.  ``out=None`` prints the text to
+    stdout.
+    """
+    if not out:
+        print(result.to_text())
+        return
+    with open(out, "w", encoding="utf-8") as fh:
+        if out.endswith(".json"):
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        else:
+            fh.write(result.to_text())
+            fh.write("\n")
+    if announce:
+        print(f"wrote {out}", file=sys.stderr)
 
 
 def resolve(name: str) -> str:
@@ -356,12 +408,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     optimizer = diagnosis.get("optimizer")
     if optimizer:
         print(_optimizer_text(optimizer))
+    serve = diagnosis.get("serve")
+    if serve:
+        print(_serve_text(serve))
     print(summarise(result))
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(result.to_dict(), fh, indent=2)
-            fh.write("\n")
-        print(f"wrote {args.out}", file=sys.stderr)
+        write_result(result, args.out)
     return 0
 
 
@@ -396,6 +448,88 @@ def _optimizer_text(optimizer: dict) -> str:
                 strategy=str(entry.get("strategy", "")),
                 reason=str(entry.get("reason", ""))))
     return "\n".join(lines)
+
+
+def _serve_text(serve: dict) -> str:
+    """Render the diagnosis's serve section for the terminal."""
+    lines = [
+        "== serve: per-tenant latency attribution ==",
+        f"requests={serve.get('requests', 0)}",
+    ]
+    for tenant, row in sorted(serve.get("tenants", {}).items()):
+        statuses = "  ".join(
+            f"{code}={count}"
+            for code, count in sorted(row.get("statuses", {}).items()))
+        lines.append(
+            "  {tenant:<12s} req={req:<6d} ok={ok:<6d} "
+            "wait={wait:8.4f}s service={service:8.4f}s "
+            "p99={p99:8.4f}s  {statuses}".format(
+                tenant=str(tenant),
+                req=int(row.get("requests", 0)),
+                ok=int(row.get("ok", 0)),
+                wait=float(row.get("mean_wait", 0.0)),
+                service=float(row.get("mean_service", 0.0)),
+                p99=float(row.get("p99_latency", 0.0)),
+                statuses=statuses))
+    return "\n".join(lines)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import AggregationService, ServeConfig, serve_forever
+    from repro.serve.service import TenantPolicy
+
+    scale = SCALES[args.scale]
+    config = ServeConfig(topo=scale.topo,
+                         default_policy=TenantPolicy(slo=args.slo),
+                         admission=not args.no_admission)
+    service = AggregationService(config)
+    try:
+        asyncio.run(serve_forever(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    # On shutdown, report what the service saw (format by extension).
+    report = service.report
+    if report.total_requests():
+        write_result(report.to_result(
+            description=f"serving report ({report.total_requests()} "
+                        "requests)"), args.out)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_loadgen
+    from repro.serve.service import TenantPolicy
+    from repro.workload.openloop import OpenLoopParams
+
+    scale = SCALES[args.scale]
+    params = OpenLoopParams(
+        users=args.users,
+        duration=args.duration,
+        per_user_rate=args.per_user_rate,
+        tenants=args.tenants,
+    )
+    admission = not args.no_admission
+    config = ServeConfig(topo=scale.topo,
+                         default_policy=TenantPolicy(slo=args.slo),
+                         admission=admission)
+    print(f"loadgen: {params.users:,} users -> "
+          f"{params.offered_rate:.1f} req/s offered over "
+          f"{params.duration:g}s (scale={args.scale}, seed={args.seed}, "
+          f"admission={'on' if admission else 'off'}) ...",
+          file=sys.stderr)
+    outcome = run_loadgen(params, config=config, seed=args.seed,
+                          slo=args.slo, admission=admission)
+    write_result(outcome.result, args.out)
+    errors = outcome.report.accounting_errors()
+    if errors:
+        for error in errors:
+            print(f"SLO-accounting error: {error}", file=sys.stderr)
+        return 1
+    print(f"aggregate goodput {outcome.aggregate_goodput:.1f} req/s, "
+          "0 accounting errors", file=sys.stderr)
+    return 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -456,26 +590,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list all experiments").set_defaults(
         func=cmd_list)
 
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run = sub.add_parser(
+        "run", help="run one experiment (or 'all')",
+        parents=[common_options(
+            scale_default="bench",
+            out_help="write results to a file (*.json serialises "
+                     "via ExperimentResult.to_json)")])
     run.add_argument("experiment",
                      help="experiment name (fig08, tab01, ...) or 'all'")
-    run.add_argument("--scale", choices=sorted(SCALES), default="bench",
-                     help="simulation scale (default: bench)")
-    run.add_argument("--seed", type=int, default=1)
-    run.add_argument("--out",
-                     help="write results to a file (*.json serialises "
-                          "via ExperimentResult.to_json)")
     run.add_argument("--plot", action="store_true",
                      help="append sparkline summaries to the tables")
     run.set_defaults(func=cmd_run)
 
     bench = sub.add_parser(
-        "bench", help="time every experiment, write BENCH_netsim.json")
-    bench.add_argument("--scale", choices=sorted(SCALES), default="bench",
-                       help="simulation scale (default: bench)")
-    bench.add_argument("--seed", type=int, default=1)
-    bench.add_argument("--out", default="BENCH_netsim.json",
-                       help="output JSON path (default: BENCH_netsim.json)")
+        "bench", help="time every experiment, write BENCH_netsim.json",
+        parents=[common_options(
+            scale_default="bench",
+            out_help="output JSON path (default: BENCH_netsim.json)")])
+    bench.set_defaults(out="BENCH_netsim.json")
     bench.add_argument("--only", nargs="*", metavar="EXPERIMENT",
                        help="restrict to these experiments")
     bench.add_argument("--profile", action="store_true",
@@ -497,7 +629,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="critical-path and bottleneck diagnosis of a trace or run")
+        help="critical-path and bottleneck diagnosis of a trace or run",
+        parents=[common_options(
+            scale_default="quick",
+            out_help="write the diagnosis ExperimentResult to this file "
+                     "(*.json serialises, embedded JSON diagnosis "
+                     "included; other extensions get the text table)")])
     analyze.add_argument("--trace", metavar="FILE",
                          help="analyze an exported trace_event JSON")
     analyze.add_argument("--run", metavar="EXPERIMENT",
@@ -512,19 +649,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use the paper's incast microbenchmark "
                               "workload (wide fan-in, random placement) "
                               "-- shows the edge->core bottleneck shift")
-    analyze.add_argument("--scale", choices=sorted(SCALES),
-                         default="quick",
-                         help="simulation scale (default: quick)")
-    analyze.add_argument("--seed", type=int, default=1)
-    analyze.add_argument("--out",
-                         help="write the ExperimentResult (with embedded "
-                              "JSON diagnosis) to this file")
     analyze.set_defaults(func=cmd_analyze)
 
     trace = sub.add_parser(
         "trace",
         help="trace an experiment (Perfetto JSON), or generate/inspect "
-             "workload traces")
+             "workload traces",
+        parents=[common_options(
+            scale_default="quick",
+            out_help="output path (trace_event JSON for experiments, "
+                     "JSONL for 'generate'; default: "
+                     "trace_<experiment>.json)")])
     trace.add_argument(
         "target",
         help="experiment name (fig06, ...) to run under the tracer, or "
@@ -532,17 +667,57 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "path", nargs="?",
         help="workload trace file (for 'inspect')")
-    trace.add_argument("--scale", choices=sorted(SCALES), default="quick",
-                       help="simulation scale (default: quick)")
-    trace.add_argument("--seed", type=int, default=1)
-    trace.add_argument("--out",
-                       help="output path (trace_event JSON for "
-                            "experiments, JSONL for 'generate'; default: "
-                            "trace_<experiment>.json)")
     trace.add_argument("--metrics-out", metavar="PATH",
                        help="also dump the METRICS registry snapshot as "
                             "JSON (experiment tracing only)")
     trace.set_defaults(func=cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live HTTP/JSON aggregation service",
+        parents=[common_options(
+            scale_default="quick",
+            out_help="on shutdown, write the serving report here "
+                     "(*.json serialises; else text)")])
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port, 0 picks a free one "
+                            "(default: 8080)")
+    serve.add_argument("--slo", type=float, default=0.25,
+                       help="per-request latency SLO in virtual seconds "
+                            "(default: 0.25)")
+    serve.add_argument("--no-admission", action="store_true",
+                       help="disable per-tenant admission control")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop load test against a fresh serving deployment",
+        parents=[common_options(
+            scale_default="quick",
+            out_help="write the per-tenant report (*.json serialises; "
+                     "else text)")])
+    loadgen.add_argument("--users", type=lambda s: int(float(s)),
+                         default=10_000,
+                         help="user population; offered rate = users x "
+                              "per-user rate (default: 10000; accepts "
+                              "1e6 notation)")
+    loadgen.add_argument("--duration", type=float, default=10.0,
+                         help="arrival window in virtual seconds "
+                              "(default: 10)")
+    loadgen.add_argument("--tenants", type=int, default=8,
+                         help="Zipf tenant population (default: 8)")
+    loadgen.add_argument("--per-user-rate", type=float, default=0.001,
+                         help="requests/s each user offers "
+                              "(default: 0.001)")
+    loadgen.add_argument("--slo", type=float, default=0.25,
+                         help="latency SLO in virtual seconds "
+                              "(default: 0.25)")
+    loadgen.add_argument("--no-admission", action="store_true",
+                         help="disable per-tenant admission control "
+                              "(the fig_serve ablation arm)")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     replay = sub.add_parser(
         "replay", help="replay a JSONL trace through a strategy")

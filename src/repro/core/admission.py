@@ -19,7 +19,7 @@ workload produces bit-identical admission decisions across runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 RATE_LIMIT = "rate-limit"
 QUEUE_DEPTH = "queue-depth"
@@ -106,18 +106,39 @@ class NackRecord:
 
 
 class AdmissionController:
-    """Per-tenant token buckets plus the queue-depth gate."""
+    """Per-tenant token buckets plus the queue-depth gate.
 
-    def __init__(self, policy: AdmissionPolicy) -> None:
+    ``per_tenant`` overrides the default policy for named tenants, so a
+    multi-tenant deployment (the serving layer) can give each tenant its
+    own sustained rate and burst while sharing one queue-depth gate.
+    The override is read once, when the tenant's bucket is created.
+    """
+
+    def __init__(self, policy: AdmissionPolicy,
+                 per_tenant: Optional[
+                     Mapping[str, AdmissionPolicy]] = None) -> None:
         self.policy = policy
+        self._per_tenant: Dict[str, AdmissionPolicy] = dict(per_tenant or {})
         self._buckets: Dict[str, TokenBucket] = {}
         self.admitted = 0
         self.nacks: List[NackRecord] = []
 
+    def tenant_policy(self, tenant: str) -> AdmissionPolicy:
+        return self._per_tenant.get(tenant, self.policy)
+
+    def set_tenant_policy(self, tenant: str,
+                          policy: AdmissionPolicy) -> None:
+        """Install a tenant override (before the tenant's first request)."""
+        if tenant in self._buckets:
+            raise ValueError(
+                f"tenant {tenant!r} already has a live bucket")
+        self._per_tenant[tenant] = policy
+
     def bucket(self, tenant: str) -> TokenBucket:
         bucket = self._buckets.get(tenant)
         if bucket is None:
-            bucket = TokenBucket(self.policy.rate, self.policy.burst)
+            policy = self.tenant_policy(tenant)
+            bucket = TokenBucket(policy.rate, policy.burst)
             self._buckets[tenant] = bucket
         return bucket
 

@@ -30,7 +30,7 @@ One :class:`OverloadConfig` switches on the whole overload plane of a
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.aggbox.overload import FLUSH, OverloadPolicy
 from repro.core.admission import AdmissionPolicy
@@ -44,6 +44,10 @@ class OverloadConfig:
     queue: Optional[OverloadPolicy] = None
     breaker: Optional[BreakerPolicy] = None
     admission: Optional[AdmissionPolicy] = None
+    #: Per-tenant admission overrides (tenant id -> policy); tenants not
+    #: listed fall back to ``admission``.  Ignored when ``admission`` is
+    #: None.  Used by the serving layer for per-tenant SLO budgets.
+    admission_per_tenant: Optional[Mapping[str, AdmissionPolicy]] = None
     avoid_pressured: bool = True
     heartbeat_staleness: Optional[float] = None
 

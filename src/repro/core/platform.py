@@ -128,7 +128,8 @@ class NetAggPlatform:
             else None
         )
         self._admission = (
-            AdmissionController(overload.admission)
+            AdmissionController(overload.admission,
+                                per_tenant=overload.admission_per_tenant)
             if overload is not None and overload.admission is not None
             else None
         )
@@ -178,6 +179,20 @@ class NetAggPlatform:
         schedule (the clock otherwise only crawls by send latencies).
         """
         self._clock = max(self._clock, t)
+
+    def begin_request(self, arrival: float) -> float:
+        """Concurrency seam for the serving layer (open-loop arrivals).
+
+        The platform is single-threaded on its virtual clock: concurrent
+        callers serialise, and a request arriving while the platform is
+        busy *queues*.  ``begin_request`` admits an arrival onto the
+        clock -- advancing it when the platform is idle, leaving it
+        alone when it is backlogged -- and returns the service start
+        time (``>= arrival``), so callers can account queueing wait
+        (``start - arrival``) separately from service time.
+        """
+        self.advance_clock(arrival)
+        return self._clock
 
     @property
     def overload(self) -> Optional[OverloadConfig]:
@@ -295,7 +310,8 @@ class NetAggPlatform:
                                  [h for h, _ in worker_partials], n_trees)
         chosen = trees[stable_hash(request_id) % len(trees)]
         return self._run_on_trees(app, request_id, master,
-                                  worker_partials, [chosen])
+                                  worker_partials, [chosen],
+                                  tenant=tenant or app)
 
     def execute_batch(
         self,
@@ -331,7 +347,7 @@ class NetAggPlatform:
                 partials.append((host, rebundle(split[tree.tree_index])))
             outcomes.append(self._run_on_trees(
                 app, f"{job_id}:t{tree.tree_index}", master,
-                partials, [tree],
+                partials, [tree], tenant=tenant or app,
             ))
         merged = self._mergers[app](
             [outcome.value for outcome in outcomes]
@@ -534,11 +550,12 @@ class NetAggPlatform:
         master: str,
         worker_partials: Sequence[Tuple[str, Any]],
         trees: Sequence[AggregationTree],
+        tenant: str = "",
     ) -> RequestOutcome:
         with get_tracer().span("platform.request", lambda: self._clock,
                                layer="platform", request=request_id,
                                app=app, workers=len(worker_partials),
-                               trees=len(trees)):
+                               trees=len(trees), tenant=tenant or app):
             return self._run_on_trees_traced(
                 app, request_id, master, worker_partials, trees)
 

@@ -70,6 +70,7 @@ MODULES: List[str] = [
     "fig_failures",
     "fig_overload",
     "fig_selfheal",
+    "fig_serve",
 ]
 
 

@@ -24,7 +24,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.netsim.engine import EventQueue
 from repro.units import percentile
@@ -97,7 +97,7 @@ _QUICK = dict(duration=10.0)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("ablation_colocation.run", _sweep, knobs)
+        reject_legacy_knobs("ablation_colocation.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

@@ -16,7 +16,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.netsim.metrics import fct_summary, relative_p99
 from repro.netsim.simulator import FlowSim
@@ -48,8 +48,7 @@ _QUICK = dict(k=4, tree_counts=(1, 2))
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("ablation_fattree.run", _sweep,
-                            {"seed": seed, **knobs})
+        reject_legacy_knobs("ablation_fattree.run", knobs)
     return _sweep(seed=seed, **(_QUICK if scale.name == "quick" else {}))
 
 

@@ -21,7 +21,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.netsim.simulator import FlowSim
 from repro.topology.threetier import ThreeTierParams, three_tier
@@ -37,7 +37,7 @@ _QUICK = dict(receiver_counts=(4, 16))
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("ablation_multicast.run", _sweep, knobs)
+        reject_legacy_knobs("ablation_multicast.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

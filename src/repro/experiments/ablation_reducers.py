@@ -15,7 +15,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.units import GB
 
@@ -29,7 +29,7 @@ _QUICK = dict(reducer_counts=(1, 4))
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("ablation_reducers.run", _sweep, knobs)
+        reject_legacy_knobs("ablation_reducers.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

@@ -16,7 +16,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.units import MB, to_gbps
 
@@ -31,7 +31,7 @@ _QUICK = dict(leaves=16, threads=8)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("ablation_streaming.run", _sweep, knobs)
+        reject_legacy_knobs("ablation_streaming.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

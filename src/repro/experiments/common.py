@@ -16,7 +16,6 @@ rack) is what makes rack-level aggregation's inbound bottleneck visible.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -123,29 +122,21 @@ def simulate(
     return sim.run()
 
 
-def legacy_knobs(entry: str, sweep: Callable[..., "ExperimentResult"],
-                 knobs: Dict[str, object],
-                 stacklevel: int = 3) -> "ExperimentResult":
-    """Dispatch a deprecated ad-hoc-keyword call to a module's sweep.
+def reject_legacy_knobs(entry: str, knobs: Dict[str, object]) -> None:
+    """Refuse a legacy ad-hoc-keyword call to a figure's ``run()``.
 
     Figure modules used to expose per-module tuning knobs directly on
     ``run()`` (``run(clients=..., duration=...)``); the canonical
-    signature is now ``run(scale=..., seed=...)``.  Old call sites keep
-    working through this shim, with a :class:`DeprecationWarning`.
-
-    ``stacklevel`` counts frames from :func:`warnings.warn`'s point of
-    view: 1 is this function, 2 the figure module's ``run()``, 3 (the
-    default) the *caller* of ``run()`` -- where the warning should point
-    so ``python -W error::DeprecationWarning`` blames the right file.
-    Every figure module calls this helper directly from ``run()``; a
-    module that adds an intermediate frame must pass ``stacklevel=4``.
+    signature is ``run(scale=..., seed=...)``.  The deprecation shim
+    that used to forward such calls (with a ``DeprecationWarning``) is
+    retired: old call sites now fail loudly with a migration hint.
     Pinned by ``tests/test_experiments.py::TestLegacyEntrypoints``.
     """
-    warnings.warn(
-        f"calling {entry} with ad-hoc keyword arguments is deprecated; "
-        "use run(scale=..., seed=...) with a SimScale preset",
-        DeprecationWarning, stacklevel=stacklevel)
-    return sweep(**knobs)
+    names = ", ".join(sorted(knobs))
+    raise TypeError(
+        f"{entry} no longer accepts ad-hoc keyword arguments ({names}); "
+        "use run(scale=..., seed=...) with a SimScale preset "
+        "(QUICK/BENCH/DEFAULT/PAPER)")
 
 
 @dataclass

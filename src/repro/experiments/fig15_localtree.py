@@ -14,7 +14,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.units import to_gbps
 
@@ -30,7 +30,7 @@ _QUICK = dict(leaves=(4, 16, 64), threads=(8, 32))
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig15_localtree.run", _sweep, knobs)
+        reject_legacy_knobs("fig15_localtree.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

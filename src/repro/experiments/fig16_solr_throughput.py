@@ -14,7 +14,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 
 CLIENTS = (5, 10, 20, 30, 50, 70)
@@ -26,7 +26,7 @@ _QUICK = dict(clients=(10, 50), duration=5.0)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig16_solr_throughput.run", _sweep, knobs)
+        reject_legacy_knobs("fig16_solr_throughput.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

@@ -13,7 +13,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.experiments.fig16_solr_throughput import CLIENTS
 
@@ -24,7 +24,7 @@ _QUICK = dict(clients=(50,), duration=5.0)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig17_solr_latency.run", _sweep, knobs)
+        reject_legacy_knobs("fig17_solr_latency.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

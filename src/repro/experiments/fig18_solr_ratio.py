@@ -14,7 +14,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 
 ALPHAS = (0.05, 0.10, 0.25, 0.50, 0.75, 1.00)
@@ -26,7 +26,7 @@ _QUICK = dict(alphas=(0.05, 0.5, 1.0), duration=5.0)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig18_solr_ratio.run", _sweep, knobs)
+        reject_legacy_knobs("fig18_solr_ratio.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

@@ -14,7 +14,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 
 BACKENDS_PER_RACK = (2, 4, 6, 8, 10)
@@ -26,7 +26,7 @@ _QUICK = dict(backends=(4, 10), duration=5.0)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig19_solr_tworack.run", _sweep, knobs)
+        reject_legacy_knobs("fig19_solr_tworack.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

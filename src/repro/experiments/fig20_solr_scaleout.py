@@ -14,7 +14,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.aggbox.functions import CategoriseFunction
 
@@ -27,7 +27,7 @@ _QUICK = dict(clients=(70,), duration=5.0)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig20_solr_scaleout.run", _sweep, knobs)
+        reject_legacy_knobs("fig20_solr_scaleout.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

@@ -15,7 +15,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 
 CORES = (2, 4, 8, 12, 16)
@@ -27,7 +27,7 @@ _QUICK = dict(cores=(2, 4, 16), duration=5.0)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig21_solr_scaleup.run", _sweep, knobs)
+        reject_legacy_knobs("fig21_solr_scaleup.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

@@ -35,7 +35,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.units import GB
 
@@ -67,8 +67,7 @@ def run(scale: SimScale = DEFAULT, seed: int = 1,
     # The five-benchmark sweep is already CI-fast; every scale runs the
     # paper configuration.
     if knobs:
-        return legacy_knobs("fig22_hadoop_jobs.run", _sweep,
-                            {"seed": seed, **knobs})
+        reject_legacy_knobs("fig22_hadoop_jobs.run", knobs)
     return _sweep(seed=seed)
 
 

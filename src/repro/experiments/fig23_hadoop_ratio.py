@@ -18,7 +18,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.experiments.fig22_hadoop_jobs import _splits
 from repro.units import GB
@@ -33,8 +33,7 @@ _QUICK = dict(vocabularies=(20, 12500))
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig23_hadoop_ratio.run", _sweep,
-                            {"seed": seed, **knobs})
+        reject_legacy_knobs("fig23_hadoop_ratio.run", knobs)
     return _sweep(seed=seed, **(_QUICK if scale.name == "quick" else {}))
 
 

@@ -14,7 +14,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.units import GB
 
@@ -27,7 +27,7 @@ _QUICK = dict(sizes_gb=(2, 16))
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig24_hadoop_datasize.run", _sweep, knobs)
+        reject_legacy_knobs("fig24_hadoop_datasize.run", knobs)
     return _sweep(**(_QUICK if scale.name == "quick" else {}))
 
 

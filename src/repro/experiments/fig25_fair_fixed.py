@@ -14,7 +14,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 
 SOLR_TASK_SECONDS = 0.030
@@ -27,8 +27,7 @@ _QUICK = dict(duration=20.0)
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig25_fair_fixed.run", _sweep,
-                            {"seed": seed, **knobs})
+        reject_legacy_knobs("fig25_fair_fixed.run", knobs)
     return _sweep(seed=seed, **(_QUICK if scale.name == "quick" else {}))
 
 

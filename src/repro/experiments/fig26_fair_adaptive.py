@@ -12,7 +12,7 @@ from repro.experiments.common import (
     DEFAULT,
     ExperimentResult,
     SimScale,
-    legacy_knobs,
+    reject_legacy_knobs,
 )
 from repro.experiments.fig25_fair_fixed import _QUICK, _sweep
 
@@ -21,8 +21,7 @@ from repro.experiments.fig25_fair_fixed import _QUICK, _sweep
 def run(scale: SimScale = DEFAULT, seed: int = 1,
         **knobs) -> ExperimentResult:
     if knobs:
-        return legacy_knobs("fig26_fair_adaptive.run", _adaptive,
-                            {"seed": seed, **knobs})
+        reject_legacy_knobs("fig26_fair_adaptive.run", knobs)
     return _adaptive(seed=seed, **(_QUICK if scale.name == "quick" else {}))
 
 

@@ -24,11 +24,15 @@ Diagnosis schema (version 1)::
                "critical_path": {seconds, fractions, dominant, top}}],
      "platform": {seconds, fractions, dominant, top},
      "optimizer": {ticks, audits, actions, migrations, drains,
-                   undrains, parked, targets, log}}
+                   undrains, parked, targets, log},
+     "serve": {requests, tenants: {waits, service, p99, statuses}}}
 
 The ``optimizer`` section (present only when a control loop ran under
 the trace) attributes every self-healing action -- see
-:func:`repro.obs.analyze.optimizer.optimizer_report`.
+:func:`repro.obs.analyze.optimizer.optimizer_report`.  The ``serve``
+section (present only when the serving layer handled requests under
+the trace) attributes per-tenant latency -- see
+:func:`repro.obs.analyze.serve.serve_report`.
 """
 
 from __future__ import annotations
@@ -59,6 +63,7 @@ from repro.obs.analyze.timeline import (
     series_for_run,
 )
 from repro.obs.analyze.optimizer import optimizer_report
+from repro.obs.analyze.serve import serve_report
 from repro.obs.analyze.trace_data import (
     InstantRec,
     RunView,
@@ -101,6 +106,9 @@ def diagnose(trace: TraceData) -> Dict[str, object]:
     optimizer = optimizer_report(trace)
     if optimizer:
         diagnosis["optimizer"] = optimizer
+    serve = serve_report(trace)
+    if serve:
+        diagnosis["serve"] = serve
     return diagnosis
 
 
@@ -140,5 +148,6 @@ __all__ = [
     "platform_paths",
     "run_timeline",
     "series_for_run",
+    "serve_report",
     "simulator_paths",
 ]

@@ -1,0 +1,43 @@
+"""``repro.serve`` -- the live multi-tenant serving layer.
+
+Turns the scripted NetAgg reproduction into a service you can hammer:
+
+- :class:`AggregationService` (:mod:`repro.serve.service`) -- a live
+  :class:`repro.core.platform.NetAggPlatform` deployment behind a
+  request/response interface with HTTP-style statuses (200 exact
+  aggregate, 429 admission NACK, 503 breaker-open / overload shed);
+- :mod:`repro.serve.loadgen` -- an open-loop, Zipfian-tenant load
+  generator (``python -m repro loadgen``) with deterministic replay;
+- :mod:`repro.serve.http` -- the asyncio HTTP/JSON front-end
+  (``python -m repro serve``);
+- :mod:`repro.serve.stats` -- per-tenant goodput / latency / SLO
+  attainment ledgers with self-checking accounting.
+"""
+
+from repro.serve.http import HttpFrontend, serve_forever
+from repro.serve.loadgen import (
+    LoadGenResult,
+    estimate_service_time,
+    run_loadgen,
+    tenant_policies,
+)
+from repro.serve.service import (
+    AggregationService,
+    ServeConfig,
+    TenantPolicy,
+)
+from repro.serve.stats import ServeReport, TenantStats
+
+__all__ = [
+    "AggregationService",
+    "HttpFrontend",
+    "LoadGenResult",
+    "ServeConfig",
+    "ServeReport",
+    "TenantPolicy",
+    "TenantStats",
+    "estimate_service_time",
+    "run_loadgen",
+    "serve_forever",
+    "tenant_policies",
+]

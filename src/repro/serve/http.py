@@ -1,0 +1,184 @@
+"""A minimal asyncio HTTP/JSON front-end for the serving layer.
+
+Dependency-free (``asyncio.start_server`` + hand-rolled HTTP/1.1
+parsing) so the repo stays stdlib-only.  Endpoints:
+
+- ``GET  /healthz``     -- liveness: ``{"ok": true, "clock": ...}``;
+- ``GET  /v1/stats``    -- the per-tenant serving report so far;
+- ``POST /v1/query``    -- one Solr-style partition/aggregate query;
+- ``POST /v1/mlgrad``   -- one gradient-aggregation round.
+
+POST bodies are the JSON request dicts
+:meth:`repro.serve.service.AggregationService.handle` understands
+(``tenant``, ``id``, and either explicit payloads or a
+``payload_seed``); the response body is the handler's response dict and
+the HTTP status mirrors its ``status`` field, so an admission NACK
+really is an HTTP 429 on the wire.
+
+``python -m repro serve`` wraps :func:`serve_forever`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.service import AggregationService
+from repro.workload.openloop import OP_MLGRAD, OP_QUERY
+
+_MAX_BODY = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpFrontend:
+    """The asyncio server wrapping one :class:`AggregationService`."""
+
+    def __init__(self, service: AggregationService) -> None:
+        self.service = service
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port)
+        sock = self._server.sockets[0]
+        bound = sock.getsockname()
+        return bound[0], bound[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_until_cancelled(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request plumbing --------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                status, payload = await self.dispatch(method, path, body)
+                await _write_response(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def dispatch(self, method: str, path: str,
+                       body: bytes) -> Tuple[int, Dict[str, Any]]:
+        """Route one parsed HTTP request (also the test seam)."""
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True, "clock": self.service.clock}
+        if method == "GET" and path == "/v1/stats":
+            report = self.service.report
+            return 200, {
+                "requests": report.total_requests(),
+                "tenants": {
+                    name: {
+                        "requests": t.requests, "ok": t.ok,
+                        "r429": t.rejected_admission,
+                        "r503": t.rejected_unavailable,
+                        "errors": t.errors,
+                        "p99": t.p99(),
+                    }
+                    for name, t in sorted(report.tenants.items())
+                },
+            }
+        op = {"/v1/query": OP_QUERY, "/v1/mlgrad": OP_MLGRAD}.get(path)
+        if op is None:
+            return 404, {"status": 404, "error": "not-found",
+                         "reason": f"no route {path!r}"}
+        if method != "POST":
+            return 405, {"status": 405, "error": "method-not-allowed",
+                         "reason": f"{path} requires POST"}
+        try:
+            request = json.loads(body or b"{}")
+            if not isinstance(request, dict):
+                raise ValueError("body must be a JSON object")
+        except ValueError as exc:
+            return 400, {"status": 400, "error": "bad-json",
+                         "reason": str(exc)}
+        request["op"] = op
+        response = await self.service.handle_async(request)
+        return int(response["status"]), response
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one HTTP/1.1 request; None on clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, ValueError):
+        return None
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("ascii").split(None, 2)
+    except ValueError:
+        raise asyncio.IncompleteReadError(line, None)
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY:
+        raise asyncio.IncompleteReadError(b"", _MAX_BODY)
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body
+
+
+async def _write_response(writer: asyncio.StreamWriter, status: int,
+                          payload: Dict[str, Any]) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n"
+        "\r\n"
+    ).encode("ascii")
+    writer.write(head + body)
+    await writer.drain()
+
+
+async def serve_forever(service: AggregationService,
+                        host: str = "127.0.0.1", port: int = 8080,
+                        announce=print) -> None:
+    """Run the HTTP front-end until cancelled (the CLI entry point)."""
+    frontend = HttpFrontend(service)
+    bound_host, bound_port = await frontend.start(host, port)
+    announce(f"repro.serve listening on http://{bound_host}:{bound_port} "
+             f"(POST /v1/query, POST /v1/mlgrad, GET /healthz)")
+    try:
+        await frontend.serve_until_cancelled()
+    finally:
+        await frontend.stop()

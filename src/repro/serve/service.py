@@ -1,0 +1,392 @@
+"""The live multi-tenant aggregation service over a NetAgg platform.
+
+``AggregationService`` is the request-facing half of ``repro.serve``:
+it owns one :class:`repro.core.platform.NetAggPlatform` deployment
+(topology + agg boxes + registered apps) and turns JSON-shaped requests
+into JSON-shaped responses with HTTP-style statuses:
+
+- ``200`` -- the request executed end-to-end through the aggregation
+  trees; the body carries the exact aggregate value and the request's
+  latency (queueing wait + service time) on the virtual clock;
+- ``429`` -- the per-tenant admission gate refused the request
+  (:class:`repro.core.admission.AdmissionNack`: rate-limit or
+  queue-depth), before it touched any tree;
+- ``503`` -- the service failed fast: either every agg box's circuit
+  breaker is open, or the request queued longer than
+  ``max_queue_wait`` (front-door load shedding);
+- ``400``/``404``/``500`` -- malformed request, unknown op, or an
+  internal execution error (always a well-formed JSON body).
+
+Two request kinds match the paper's served workloads: ``query`` (a
+Solr-style partition/aggregate top-k search) and ``mlgrad`` (one
+distributed gradient-aggregation round).  Payloads are either given
+explicitly (``results``/``gradients``) or synthesised deterministically
+from a ``payload_seed`` -- the loadgen path.
+
+Concurrency: the platform is single-threaded on its deterministic
+virtual clock, so the asyncio front-end serialises requests through
+:meth:`handle_async` (an ``asyncio.Lock``; FIFO, hence deterministic)
+and open-loop arrivals queue via
+:meth:`NetAggPlatform.begin_request` -- latency = queueing wait +
+service time, exactly like a busy single-worker server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.aggbox.functions import TopKFunction
+from repro.aggregation import deploy_boxes
+from repro.apps.mlgrad import (
+    VectorSumFunction,
+    decode_vector,
+    encode_vector,
+)
+from repro.core.admission import AdmissionNack, AdmissionPolicy
+from repro.core.breaker import BreakerPolicy
+from repro.core.overload import OverloadConfig
+from repro.core.platform import NetAggPlatform
+from repro.faults import (
+    FaultSchedule,
+    PlatformFaultInjector,
+    RetryPolicy,
+)
+from repro.obs import METRICS, get_tracer
+from repro.serve.stats import (
+    STATUS_BAD_REQUEST,
+    STATUS_INTERNAL,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_UNAVAILABLE,
+    ServeReport,
+)
+from repro.topology.threetier import three_tier
+from repro.wire.records import (
+    SearchResult,
+    decode_search_results,
+    encode_search_results,
+)
+from repro.workload.openloop import OP_MLGRAD, OP_QUERY, pick_endpoints
+
+#: App names the service registers on its platform.
+APP_QUERY = "serve-solr"
+APP_MLGRAD = "serve-mlgrad"
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's serving contract: admitted rate and latency SLO."""
+
+    rate: float = 50.0    #: sustained admitted requests per virtual second
+    burst: float = 10.0   #: token-bucket burst allowance
+    slo: float = 0.25     #: latency SLO (virtual seconds)
+
+    def admission(self) -> AdmissionPolicy:
+        return AdmissionPolicy(rate=self.rate, burst=self.burst)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Deployment configuration of one :class:`AggregationService`.
+
+    ``admission=False`` removes the per-tenant gate entirely (the
+    ``fig_serve`` ablation arm); everything else stays identical.
+    """
+
+    #: Topology preset the platform deploys over.
+    topo: Any = None                       # ThreeTierParams; None = QUICK's
+    #: Default per-tenant policy (tenants without an override).
+    default_policy: TenantPolicy = TenantPolicy()
+    #: Per-tenant overrides.
+    tenants: Mapping[str, TenantPolicy] = field(default_factory=dict)
+    #: Per-tenant token-bucket admission on/off.
+    admission: bool = True
+    #: Per-box circuit breakers on/off.
+    breaker: bool = True
+    #: 503-shed requests that queued longer than this (None disables).
+    max_queue_wait: Optional[float] = 1.0
+    #: Fault schedule replayed against the platform (box failures etc.).
+    faults: Optional[FaultSchedule] = None
+    #: Shim retry policy override.
+    retry: Optional[RetryPolicy] = None
+    #: Top-k of query requests.
+    k: int = 10
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.tenants.get(tenant, self.default_policy)
+
+
+class AggregationService:
+    """A live NetAgg deployment behind a request/response interface."""
+
+    def __init__(self, config: ServeConfig = ServeConfig()) -> None:
+        from repro.experiments.common import QUICK
+
+        self.config = config
+        topo_params = config.topo if config.topo is not None else QUICK.topo
+        self._topo = three_tier(topo_params)
+        deploy_boxes(self._topo)
+        self._box_ids = sorted(
+            info.box_id for info in self._topo.all_boxes())
+        overload = OverloadConfig(
+            breaker=BreakerPolicy() if config.breaker else None,
+            admission=(config.default_policy.admission()
+                       if config.admission else None),
+            admission_per_tenant={
+                name: policy.admission()
+                for name, policy in sorted(config.tenants.items())
+            } if config.admission else None,
+        )
+        self._platform = NetAggPlatform(
+            self._topo,
+            faults=PlatformFaultInjector(config.faults or FaultSchedule()),
+            retry=config.retry,
+            overload=overload,
+        )
+        self._platform.register_app(
+            APP_QUERY, TopKFunction(k=config.k),
+            encode_search_results, decode_search_results)
+        self._platform.register_app(
+            APP_MLGRAD, VectorSumFunction(), encode_vector, decode_vector)
+        self._hosts = sorted(self._topo.hosts())
+        self._lock = asyncio.Lock()
+        self.report = ServeReport(slo=config.default_policy.slo)
+
+    @property
+    def platform(self) -> NetAggPlatform:
+        return self._platform
+
+    @property
+    def clock(self) -> float:
+        return self._platform.clock
+
+    # -- payloads ----------------------------------------------------------
+
+    def _query_partials(
+        self, request: Mapping[str, Any],
+    ) -> List[Tuple[str, List[SearchResult]]]:
+        """Per-worker scored results, explicit or seed-synthesised."""
+        if "results" in request:
+            rows = request["results"]
+            if not isinstance(rows, list) or not rows:
+                raise ValueError("'results' must be a non-empty list "
+                                 "of per-worker [doc_id, score] lists")
+            partials = []
+            for index, worker_rows in enumerate(rows):
+                host = self._hosts[index % len(self._hosts)]
+                partials.append((host, [
+                    SearchResult(doc_id=int(doc), score=float(score))
+                    for doc, score in worker_rows
+                ]))
+            return partials
+        seed = int(request.get("payload_seed", 0))
+        n_workers = int(request.get("workers", 8))
+        per_worker = int(request.get("results_per_worker", 4))
+        _, workers = pick_endpoints(self._hosts, seed, n_workers)
+        return [
+            (host, [
+                SearchResult(
+                    doc_id=seed % 100_000 + i * 1000 + j,
+                    score=float((seed + i * 37 + j * 13) % 997) / 997.0,
+                )
+                for j in range(per_worker)
+            ])
+            for i, host in enumerate(workers)
+        ]
+
+    def _mlgrad_partials(
+        self, request: Mapping[str, Any],
+    ) -> List[Tuple[str, List[float]]]:
+        """Per-worker gradient vectors, explicit or seed-synthesised."""
+        if "gradients" in request:
+            rows = request["gradients"]
+            if not isinstance(rows, list) or not rows:
+                raise ValueError("'gradients' must be a non-empty list "
+                                 "of equal-length float vectors")
+            return [
+                (self._hosts[index % len(self._hosts)],
+                 [float(v) for v in vector])
+                for index, vector in enumerate(rows)
+            ]
+        seed = int(request.get("payload_seed", 0))
+        n_workers = int(request.get("workers", 8))
+        dims = int(request.get("gradient_dims", 8))
+        _, workers = pick_endpoints(self._hosts, seed, n_workers)
+        return [
+            (host, [
+                ((seed + i * 31 + j * 7) % 1999 - 999) / 999.0
+                for j in range(dims)
+            ])
+            for i, host in enumerate(workers)
+        ]
+
+    def _master_for(self, request: Mapping[str, Any]) -> str:
+        seed = int(request.get("payload_seed", 0))
+        master, _ = pick_endpoints(
+            self._hosts, seed, int(request.get("workers", 8)))
+        return master
+
+    def expected_value(self, request: Mapping[str, Any]) -> Any:
+        """The centralised (ground-truth) aggregate of a request.
+
+        Used by exactness tests and retries: whatever path a request
+        takes through the trees -- including rewired, degraded or
+        retried paths -- its 200 response must carry exactly this value.
+        """
+        op = request.get("op")
+        if op == OP_QUERY:
+            partials = self._query_partials(request)
+            merged = TopKFunction(k=self.config.k).merge(
+                [results for _, results in partials])
+            return _encode_results(merged)
+        if op == OP_MLGRAD:
+            partials = self._mlgrad_partials(request)
+            return VectorSumFunction().merge(
+                [vector for _, vector in partials])
+        raise ValueError(f"unknown op {op!r}")
+
+    # -- request handling --------------------------------------------------
+
+    def handle(self, request: Mapping[str, Any],
+               arrival: Optional[float] = None) -> Dict[str, Any]:
+        """Serve one request synchronously (see the module docstring).
+
+        ``arrival`` is the request's arrival time on the virtual clock
+        (defaults to "now"); latency accounts queueing from then.
+        """
+        tenant = str(request.get("tenant", "anonymous"))
+        op = str(request.get("op", ""))
+        request_id = str(request.get("id", f"{tenant}:{op}:anon"))
+        slo = self.config.policy_for(tenant).slo
+        if arrival is None:
+            arrival = self._platform.clock
+        response = self._execute(request, tenant, op, request_id, arrival)
+        status = response["status"]
+        latency = response.get("latency", 0.0)
+        wait = response.get("wait", 0.0)
+        self.report.record(tenant, status, latency, wait, slo=slo)
+        METRICS.counter("serve.requests").inc()
+        METRICS.counter(f"serve.status.{status}").inc()
+        if status == STATUS_OK:
+            METRICS.histogram("serve.latency").observe(latency)
+        return response
+
+    async def handle_async(self, request: Mapping[str, Any],
+                           arrival: Optional[float] = None,
+                           ) -> Dict[str, Any]:
+        """Asyncio entry point: serialises callers onto the platform.
+
+        ``asyncio.Lock`` wakes waiters FIFO, so concurrent submissions
+        execute in submission order -- the deterministic-replay
+        property the loadgen tests pin.
+        """
+        async with self._lock:
+            return self.handle(request, arrival=arrival)
+
+    def _execute(self, request: Mapping[str, Any], tenant: str, op: str,
+                 request_id: str, arrival: float) -> Dict[str, Any]:
+        response = self._execute_inner(request, tenant, op, request_id,
+                                       arrival)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # The request span cannot carry the status (only known at
+            # end); the response instant completes the picture for
+            # ``repro.obs.analyze.serve`` -- and fires for fail-fast
+            # rejections that never open a span.
+            tracer.instant(
+                "serve.response", self._platform.clock, layer="serve",
+                tenant=tenant, op=op, request=request_id,
+                status=response["status"],
+                latency=response.get("latency", 0.0),
+            )
+        return response
+
+    def _execute_inner(self, request: Mapping[str, Any], tenant: str,
+                       op: str, request_id: str,
+                       arrival: float) -> Dict[str, Any]:
+        base = {"id": request_id, "tenant": tenant, "op": op}
+        if op not in (OP_QUERY, OP_MLGRAD):
+            return {**base, "status": STATUS_NOT_FOUND,
+                    "error": "unknown-op",
+                    "reason": f"op must be one of {OP_QUERY!r}, "
+                              f"{OP_MLGRAD!r}"}
+        start = self._platform.begin_request(arrival)
+        wait = start - arrival
+        base["wait"] = wait
+        limit = self.config.max_queue_wait
+        if limit is not None and wait > limit:
+            return {**base, "status": STATUS_UNAVAILABLE,
+                    "error": "overloaded",
+                    "reason": f"queued {wait:.3f}s > {limit:g}s"}
+        if self._breakers_refusing(start):
+            return {**base, "status": STATUS_UNAVAILABLE,
+                    "error": "breaker-open",
+                    "reason": "all agg-box circuit breakers are open"}
+        tracer = get_tracer()
+        span = tracer.begin(
+            "serve.request", start, layer="serve", tenant=tenant, op=op,
+            request=request_id, arrival=arrival, wait=wait,
+        ) if tracer.enabled else 0
+        try:
+            response = self._dispatch(request, base, op, tenant,
+                                      request_id, arrival)
+        finally:
+            if span:
+                tracer.end(span, self._platform.clock)
+        return response
+
+    def _dispatch(self, request: Mapping[str, Any], base: Dict[str, Any],
+                  op: str, tenant: str, request_id: str,
+                  arrival: float) -> Dict[str, Any]:
+        try:
+            if op == OP_QUERY:
+                partials = self._query_partials(request)
+                outcome = self._platform.execute_request(
+                    APP_QUERY, request_id, self._master_for(request),
+                    partials, tenant=tenant)
+                value = _encode_results(outcome.value)
+            else:
+                partials = self._mlgrad_partials(request)
+                outcome = self._platform.execute_request(
+                    APP_MLGRAD, request_id, self._master_for(request),
+                    partials, tenant=tenant)
+                value = list(outcome.value)
+        except AdmissionNack as nack:
+            policy = self.config.policy_for(tenant)
+            return {**base, "status": STATUS_REJECTED,
+                    "error": "admission-nack", "reason": nack.reason,
+                    "retry_after": 1.0 / policy.rate}
+        except (ValueError, KeyError, TypeError) as exc:
+            return {**base, "status": STATUS_BAD_REQUEST,
+                    "error": "bad-request", "reason": str(exc)}
+        except RuntimeError as exc:
+            return {**base, "status": STATUS_INTERNAL,
+                    "error": "internal", "reason": str(exc)}
+        latency = self._platform.clock - arrival
+        return {**base, "status": STATUS_OK, "value": value,
+                "latency": latency,
+                "boxes": len(set(outcome.boxes_used)),
+                "retries": len(outcome.events_of_kind("retry"))}
+
+    def _breakers_refusing(self, now: float) -> bool:
+        """True when every deployed box's breaker refuses sends.
+
+        ``allow`` also performs the open -> half-open transition, so a
+        503 storm self-heals after the breaker reset timeout.
+        """
+        board = self._platform.breakers
+        if board is None or not self._box_ids:
+            return False
+        states = board.states()
+        if not all(box in states for box in self._box_ids):
+            return False
+        return not any(board.breaker(box).allow(now)
+                       for box in self._box_ids)
+
+
+def _encode_results(results: List[SearchResult]) -> List[List[float]]:
+    """Search results as JSON-ready ``[doc_id, score]`` pairs."""
+    return [[r.doc_id, r.score] for r in results]

@@ -154,6 +154,80 @@ class TestReplay:
             assert name in text
 
 
+class TestUniformContract:
+    """Every workload subcommand shares the --scale/--seed/--out trio."""
+
+    SUBCOMMANDS = ("run", "bench", "trace", "analyze", "serve", "loadgen")
+
+    def test_all_subcommands_accept_the_trio(self):
+        parser = cli.build_parser()
+        sub_actions = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0])))
+        for name in self.SUBCOMMANDS:
+            command = sub_actions.choices[name]
+            flags = {flag for action in command._actions
+                     for flag in action.option_strings}
+            for flag in ("--scale", "--seed", "--out"):
+                assert flag in flags, f"{name} is missing {flag}"
+
+    def test_out_extension_infers_format(self, tmp_path):
+        from repro.experiments import ExperimentResult
+
+        result = ExperimentResult(experiment="x", description="d",
+                                  columns=("a",))
+        result.add_row(a=1)
+        as_json = tmp_path / "r.json"
+        as_text = tmp_path / "r.txt"
+        cli.write_result(result, str(as_json), announce=False)
+        cli.write_result(result, str(as_text), announce=False)
+        import json
+
+        assert json.loads(as_json.read_text())["experiment"] == "x"
+        assert "== x:" in as_text.read_text()
+
+    def test_analyze_out_infers_text(self, tmp_path, capsys):
+        target = tmp_path / "diagnosis.txt"
+        assert cli.main(["analyze", "--run", "fig09", "--scale", "quick",
+                         "--out", str(target)]) == 0
+        capsys.readouterr()
+        assert "== analyze:" in target.read_text()
+
+
+class TestLoadgen:
+    def test_loadgen_reports_per_tenant_goodput(self, capsys):
+        assert cli.main(["loadgen", "--users", "5000", "--duration", "2",
+                         "--scale", "quick", "--seed", "7"]) == 0
+        captured = capsys.readouterr()
+        assert "slo_attainment" in captured.out
+        assert "ALL" in captured.out
+        assert "0 accounting errors" in captured.err
+
+    def test_loadgen_accepts_scientific_users(self, capsys):
+        assert cli.main(["loadgen", "--users", "1e3", "--duration", "1",
+                         "--scale", "quick"]) == 0
+        assert "1,000 users" in capsys.readouterr().err
+
+    def test_loadgen_deterministic_replay(self, capsys):
+        args = ["loadgen", "--users", "5000", "--duration", "2",
+                "--scale", "quick", "--seed", "11"]
+        cli.main(args)
+        first = capsys.readouterr().out
+        cli.main(args)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_loadgen_writes_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "load.json"
+        assert cli.main(["loadgen", "--users", "2000", "--duration", "1",
+                         "--scale", "quick", "--out", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "loadgen"
+        assert payload["rows"]
+
+
 class TestUnknownExperimentMessages:
     def test_resolve_error_lists_registry(self):
         with pytest.raises(SystemExit) as err:

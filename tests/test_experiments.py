@@ -260,12 +260,34 @@ class TestFigFailures:
 
 
 class TestLegacyEntrypoints:
-    def test_adhoc_kwargs_warn_and_still_run(self):
-        with pytest.warns(DeprecationWarning,
-                          match="fig16_solr_throughput.run"):
-            result = fig16_solr_throughput.run(clients=(10,), duration=5.0)
-        assert result.rows
-        assert all(row["clients"] == 10 for row in result.rows)
+    """The ad-hoc-keyword shim is retired: legacy calls fail loudly.
+
+    Figure modules used to forward ``run(clients=..., duration=...)``
+    through a ``DeprecationWarning`` shim; the shim is now a hard
+    ``TypeError`` carrying a migration hint to the canonical
+    ``run(scale=..., seed=...)`` signature.
+    """
+
+    def test_adhoc_kwargs_raise_type_error(self):
+        with pytest.raises(TypeError,
+                           match="fig16_solr_throughput.run"):
+            fig16_solr_throughput.run(clients=(10,), duration=5.0)
+
+    def test_error_names_the_offending_knobs_and_the_fix(self):
+        with pytest.raises(TypeError) as excinfo:
+            fig16_solr_throughput.run(clients=(10,), duration=5.0)
+        message = str(excinfo.value)
+        assert "clients" in message and "duration" in message
+        assert "run(scale=..., seed=...)" in message
+
+    def test_seed_merging_variant_also_raises(self):
+        # Modules that used to merge {"seed": seed, **knobs} into the
+        # shim must reject the ad-hoc knob but still name only *it*
+        # (seed stays a canonical argument).
+        with pytest.raises(TypeError) as excinfo:
+            fig22_hadoop_jobs.run(intermediate_bytes=1e6)
+        assert "intermediate_bytes" in str(excinfo.value)
+        assert "seed" not in str(excinfo.value).split("(")[1].split(")")[0]
 
     def test_canonical_call_does_not_warn(self):
         import warnings
@@ -275,34 +297,9 @@ class TestLegacyEntrypoints:
             result = tab01_loc.run(scale=QUICK)
         assert result.rows
 
-    def test_adhoc_kwargs_match_canonical_path(self):
-        # The shim must only warn, never change results: calling with
-        # the exact knobs the canonical QUICK path uses is identical.
-        canonical = fig16_solr_throughput.run(scale=QUICK)
-        with pytest.warns(DeprecationWarning,
-                          match="fig16_solr_throughput.run"):
-            legacy = fig16_solr_throughput.run(clients=(10, 50),
-                                               duration=5.0)
-        assert legacy.rows == canonical.rows
-        assert legacy.columns == canonical.columns
-
-    def test_warning_blames_the_caller_plain_knobs(self):
-        # stacklevel contract of legacy_knobs (see common.py): with the
-        # standard caller -> run() -> legacy_knobs chain the warning
-        # must point at the *caller's* file -- this test -- not at
-        # common.py or the figure module.
-        with pytest.warns(DeprecationWarning) as caught:
-            fig16_solr_throughput.run(clients=(10,), duration=5.0)
-        assert len(caught) == 1
-        assert caught[0].filename == __file__
-
-    def test_warning_blames_the_caller_seed_merging_knobs(self):
-        # Same contract through the seed-merging variant
-        # (run() forwards {"seed": seed, **knobs}).
-        with pytest.warns(DeprecationWarning) as caught:
-            fig22_hadoop_jobs.run(intermediate_bytes=1e6)
-        assert len(caught) == 1
-        assert caught[0].filename == __file__
+    def test_canonical_seed_still_accepted(self):
+        result = fig16_solr_throughput.run(scale=QUICK, seed=2)
+        assert result.rows
 
 
 class TestFigOverload:

@@ -56,6 +56,12 @@ PACKAGES = [
     "repro.faults.inject",
     "repro.experiments",
     "repro.bench",
+    "repro.serve",
+    "repro.serve.service",
+    "repro.serve.stats",
+    "repro.serve.loadgen",
+    "repro.serve.http",
+    "repro.workload.openloop",
 ]
 
 EXPERIMENT_MODULES = [
@@ -82,6 +88,7 @@ def test_imports(package):
     "repro", "repro.netsim", "repro.topology", "repro.workload",
     "repro.aggregation", "repro.core", "repro.aggbox", "repro.wire",
     "repro.cluster", "repro.cost", "repro.faults", "repro.experiments",
+    "repro.serve",
 ])
 def test_dunder_all_resolves(package):
     module = importlib.import_module(package)
@@ -110,22 +117,55 @@ def test_version():
 
 
 def test_fault_api_at_top_level():
-    """The fault-injection layer is re-exported from the root package."""
-    from repro import (
-        EmulatorFaultInjector,
-        FaultEvent,
-        FaultSchedule,
-        PlatformFaultInjector,
-        RetryPolicy,
-        SimFaultInjector,
-    )
+    """Fault *schedules* are public; per-layer injectors are not."""
+    from repro import FaultEvent, FaultSchedule, RetryPolicy
 
     schedule = FaultSchedule([FaultEvent(1.0, "box-crash", "box:tor:0:0")])
     assert len(schedule) == 1
     assert RetryPolicy().max_attempts >= 1
-    for injector in (SimFaultInjector, PlatformFaultInjector,
-                     EmulatorFaultInjector):
-        assert callable(injector)
+
+
+def test_serve_api_at_top_level():
+    """The serving layer's entry points re-export from the root."""
+    from repro import (
+        AggregationService,
+        OpenLoopParams,
+        ServeConfig,
+        TenantPolicy,
+        run_loadgen,
+        serve_forever,
+    )
+
+    assert callable(run_loadgen) and callable(serve_forever)
+    assert callable(AggregationService)
+    assert TenantPolicy().slo > 0
+    assert ServeConfig().admission
+    assert OpenLoopParams().tenants >= 1
+
+
+def test_stable_surface_no_leaks():
+    """``repro.__all__`` is the whole contract: every name resolves,
+    injectors moved out, and no internal name leaks to the top level
+    as an eagerly-bound public attribute."""
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, f"repro.{name} missing"
+    # Per-layer fault injectors are submodule API now, not top-level.
+    for internal in ("SimFaultInjector", "PlatformFaultInjector",
+                     "EmulatorFaultInjector"):
+        with pytest.raises(AttributeError):
+            getattr(repro, internal)
+    # Everything public and eagerly bound on the package (other than
+    # submodules Python inserts on import) must be declared in __all__.
+    import types
+
+    allowed = set(repro.__all__) | {"annotations"}
+    leaked = [
+        name for name, value in vars(repro).items()
+        if not name.startswith("_")
+        and not isinstance(value, types.ModuleType)
+        and name not in allowed
+    ]
+    assert not leaked, f"undeclared public names on repro: {leaked}"
 
 
 def test_paper_scale_topology_builds():

@@ -1,0 +1,373 @@
+"""Tests for the live serving layer (``repro.serve``).
+
+Covers the four contract areas of the serving API:
+
+- endpoint round-trips (service dicts and the HTTP dispatch seam);
+- admission mapping: ``AdmissionNack`` -> 429 with a retry hint,
+  per-tenant isolation intact;
+- deterministic loadgen replay: identical (params, seed) -> identical
+  per-tenant report, and the report's accounting self-checks hold;
+- chaos: box failures mid-stream yield well-formed errors (503 when
+  the breakers fail fast) and a post-recovery retry returns the exact
+  centralised aggregate.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    AggregationService,
+    HttpFrontend,
+    ServeConfig,
+    TenantPolicy,
+    run_loadgen,
+)
+from repro.workload.openloop import (
+    OP_MLGRAD,
+    OP_QUERY,
+    OpenLoopParams,
+    ZipfTenants,
+    generate_arrivals,
+)
+
+
+def _query(tenant="t1", rid="r1", seed=42, **extra):
+    return {"op": OP_QUERY, "tenant": tenant, "id": rid,
+            "payload_seed": seed, **extra}
+
+
+def _mlgrad(tenant="t1", rid="g1", seed=7, **extra):
+    return {"op": OP_MLGRAD, "tenant": tenant, "id": rid,
+            "payload_seed": seed, **extra}
+
+
+class TestServiceRoundTrips:
+    def test_query_exact_aggregate(self):
+        service = AggregationService()
+        request = _query()
+        response = service.handle(request)
+        assert response["status"] == 200
+        assert response["value"] == service.expected_value(request)
+        assert response["latency"] > 0
+        assert response["boxes"] >= 1
+
+    def test_mlgrad_matches_centralised_sum(self):
+        service = AggregationService()
+        request = _mlgrad()
+        response = service.handle(request)
+        assert response["status"] == 200
+        expected = service.expected_value(request)
+        assert len(response["value"]) == len(expected)
+        # Tree-shaped merges reassociate float adds; agreement is to
+        # rounding error, exactly as repro.apps.mlgrad documents.
+        assert all(abs(a - b) < 1e-9
+                   for a, b in zip(response["value"], expected))
+
+    def test_explicit_payloads(self):
+        service = AggregationService()
+        response = service.handle(_query(
+            results=[[[1, 0.9], [2, 0.5]], [[3, 0.7]], [[4, 0.99]]]))
+        assert response["status"] == 200
+        assert response["value"][0] == [4, 0.99]
+
+    def test_unknown_op_404(self):
+        service = AggregationService()
+        response = service.handle({"op": "nonsense", "tenant": "t1",
+                                   "id": "x"})
+        assert response["status"] == 404
+        assert response["error"] == "unknown-op"
+        assert response["id"] == "x" and response["tenant"] == "t1"
+
+    def test_malformed_payload_400(self):
+        service = AggregationService()
+        response = service.handle(_query(results=[]))
+        assert response["status"] == 400
+        assert response["error"] == "bad-request"
+
+    def test_report_ledger_tracks_statuses(self):
+        service = AggregationService()
+        service.handle(_query(rid="a"))
+        service.handle({"op": "nope", "tenant": "t1", "id": "b"})
+        stats = service.report.tenants["t1"]
+        assert stats.requests == 2
+        assert stats.ok == 1 and stats.errors == 1
+        assert not service.report.accounting_errors()
+
+
+class TestAdmissionMapping:
+    def _strict_service(self):
+        # tenant-hot gets one token and (practically) no refill, so its
+        # second request inside the same instant must NACK.
+        return AggregationService(ServeConfig(
+            tenants={"hot": TenantPolicy(rate=0.001, burst=1.0)},
+            default_policy=TenantPolicy(rate=1000.0, burst=1000.0),
+        ))
+
+    def test_nack_maps_to_429_with_retry_hint(self):
+        service = self._strict_service()
+        assert service.handle(_query(tenant="hot", rid="a"))["status"] == 200
+        rejected = service.handle(_query(tenant="hot", rid="b"))
+        assert rejected["status"] == 429
+        assert rejected["error"] == "admission-nack"
+        assert rejected["reason"] == "rate-limit"
+        assert rejected["retry_after"] == pytest.approx(1.0 / 0.001)
+
+    def test_per_tenant_isolation(self):
+        service = self._strict_service()
+        service.handle(_query(tenant="hot", rid="a"))
+        assert service.handle(_query(tenant="hot", rid="b"))["status"] == 429
+        # The cold tenant's bucket is untouched by hot's exhaustion.
+        assert service.handle(_query(tenant="cold", rid="c"))["status"] == 200
+        assert service.report.tenants["hot"].rejected_admission == 1
+        assert service.report.tenants["cold"].rejected_admission == 0
+
+    def test_admission_off_never_429s(self):
+        service = AggregationService(ServeConfig(
+            tenants={"hot": TenantPolicy(rate=0.001, burst=1.0)},
+            admission=False))
+        for i in range(5):
+            assert service.handle(
+                _query(tenant="hot", rid=f"r{i}"))["status"] == 200
+
+
+class TestHttpEndpoints:
+    def _dispatch(self, frontend, method, path, body=b""):
+        return asyncio.run(frontend.dispatch(method, path, body))
+
+    def test_query_endpoint_round_trip(self):
+        frontend = HttpFrontend(AggregationService())
+        status, payload = self._dispatch(
+            frontend, "POST", "/v1/query",
+            json.dumps({"tenant": "t1", "id": "r1",
+                        "payload_seed": 42}).encode())
+        assert status == 200
+        assert payload["status"] == 200
+        assert payload["value"]
+
+    def test_mlgrad_endpoint_round_trip(self):
+        service = AggregationService()
+        frontend = HttpFrontend(service)
+        status, payload = self._dispatch(
+            frontend, "POST", "/v1/mlgrad",
+            json.dumps({"tenant": "t1", "id": "g1",
+                        "payload_seed": 7}).encode())
+        assert status == 200
+        expected = service.expected_value(_mlgrad())
+        assert payload["value"] == pytest.approx(expected, abs=1e-9)
+
+    def test_healthz_and_stats(self):
+        frontend = HttpFrontend(AggregationService())
+        status, payload = self._dispatch(frontend, "GET", "/healthz")
+        assert status == 200 and payload["ok"]
+        self._dispatch(frontend, "POST", "/v1/query",
+                       json.dumps({"tenant": "t1", "id": "r1",
+                                   "payload_seed": 1}).encode())
+        status, payload = self._dispatch(frontend, "GET", "/v1/stats")
+        assert status == 200
+        assert payload["requests"] == 1
+        assert payload["tenants"]["t1"]["ok"] == 1
+
+    def test_http_status_mirrors_admission_nack(self):
+        service = AggregationService(ServeConfig(
+            tenants={"hot": TenantPolicy(rate=0.001, burst=1.0)}))
+        frontend = HttpFrontend(service)
+        body = json.dumps({"tenant": "hot", "payload_seed": 1}).encode()
+        first, _ = self._dispatch(frontend, "POST", "/v1/query", body)
+        second, payload = self._dispatch(frontend, "POST", "/v1/query", body)
+        assert first == 200
+        assert second == 429
+        assert payload["error"] == "admission-nack"
+
+    def test_routing_errors_are_well_formed(self):
+        frontend = HttpFrontend(AggregationService())
+        status, payload = self._dispatch(frontend, "GET", "/v1/nowhere")
+        assert status == 404 and payload["error"] == "not-found"
+        status, payload = self._dispatch(frontend, "GET", "/v1/query")
+        assert status == 405 and payload["error"] == "method-not-allowed"
+        status, payload = self._dispatch(frontend, "POST", "/v1/query",
+                                         b"{not json")
+        assert status == 400 and payload["error"] == "bad-json"
+
+    def test_live_socket_round_trip(self):
+        # One real TCP request through asyncio.start_server.
+        async def scenario():
+            frontend = HttpFrontend(AggregationService())
+            host, port = await frontend.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            body = json.dumps({"tenant": "t1", "id": "r1",
+                               "payload_seed": 42}).encode()
+            writer.write(
+                b"POST /v1/query HTTP/1.1\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"\r\n" + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            while (await reader.readline()) not in (b"\r\n", b""):
+                pass
+            payload = json.loads(await reader.read(65536))
+            writer.close()
+            await frontend.stop()
+            return status_line, payload
+
+        status_line, payload = asyncio.run(scenario())
+        assert b"200" in status_line
+        assert payload["status"] == 200
+
+
+class TestLoadgenDeterminism:
+    PARAMS = OpenLoopParams(users=5_000, duration=2.0, tenants=4)
+
+    def test_same_seed_identical_report(self):
+        a = run_loadgen(self.PARAMS, seed=11)
+        b = run_loadgen(self.PARAMS, seed=11)
+        assert a.result.rows == b.result.rows
+        assert a.aggregate_goodput == b.aggregate_goodput
+
+    def test_different_seed_different_stream(self):
+        a = run_loadgen(self.PARAMS, seed=11)
+        b = run_loadgen(self.PARAMS, seed=12)
+        assert a.result.rows != b.result.rows
+
+    def test_accounting_self_checks_pass(self):
+        outcome = run_loadgen(self.PARAMS, seed=3)
+        assert outcome.report.accounting_errors() == []
+        assert outcome.report.total_requests() > 0
+
+    def test_arrival_stream_is_deterministic(self):
+        params = OpenLoopParams(users=20_000, duration=1.0, tenants=8)
+        a = generate_arrivals(params, seed=5)
+        b = generate_arrivals(params, seed=5)
+        assert a == b
+        assert all(x.at <= y.at for x, y in zip(a, a[1:]))
+        assert all(arrival.at < params.duration for arrival in a)
+
+    def test_zipf_rank_one_is_hottest(self):
+        import random
+
+        zipf = ZipfTenants(8, 1.2)
+        rng = random.Random(9)
+        draws = [zipf.draw(rng) for _ in range(4000)]
+        counts = {t: draws.count(t) for t in set(draws)}
+        assert max(counts, key=counts.get) == "tenant-1"
+        assert zipf.share("tenant-1") > zipf.share("tenant-8")
+
+
+class TestChaos:
+    def _boxes(self, service):
+        return sorted(info.box_id
+                      for info in service.platform.topology.all_boxes())
+
+    def test_failure_mid_stream_stays_well_formed_and_exact(self):
+        service = AggregationService()
+        request = _query(seed=99)
+        expected = service.expected_value(request)
+        assert service.handle(dict(request, id="before"))["value"] \
+            == expected
+        for box in self._boxes(service):
+            service.platform.fail_box(box)
+        # Mid-stream failure: the shim ladder degrades (spill to parent,
+        # ultimately direct to the master) but never silently corrupts:
+        # any 200 carries the exact aggregate; any non-200 is a
+        # well-formed JSON error body.
+        response = service.handle(dict(request, id="during"))
+        assert response["tenant"] == "t1" and response["id"] == "during"
+        if response["status"] == 200:
+            assert response["value"] == expected
+        else:
+            assert response["status"] in (500, 503)
+            assert response["error"] and response["reason"]
+
+    def test_breakers_fail_fast_503_then_recover_exact(self):
+        service = AggregationService()
+        request = _query(seed=123)
+        expected = service.expected_value(request)
+        boxes = self._boxes(service)
+        for box in boxes:
+            service.platform.fail_box(box)
+        # Trip every breaker (the deterministic stand-in for the probe
+        # storm a real outage produces) and the service fails fast.
+        board = service.platform.breakers
+        now = service.clock
+        for box in boxes:
+            breaker = board.breaker(box)
+            for _ in range(3):
+                breaker.record_failure(now)
+        rejected = service.handle(dict(request, id="while-down"))
+        assert rejected["status"] == 503
+        assert rejected["error"] == "breaker-open"
+        assert rejected["reason"]
+        assert service.report.tenants["t1"].rejected_unavailable == 1
+        # Recovery: boxes come back, the breaker reset timeout elapses
+        # (allow() performs open -> half-open), and the retried request
+        # returns the exact centralised aggregate.
+        for box in boxes:
+            service.platform.recover_box(box)
+        service.platform.advance_clock(service.clock + 1.0)
+        retried = service.handle(dict(request, id="retry"))
+        assert retried["status"] == 200
+        assert retried["value"] == expected
+
+    def test_scheduled_fault_replay_is_deterministic(self):
+        from repro.faults import FaultEvent, FaultSchedule
+
+        def run_once():
+            boxes = self._boxes(AggregationService())
+            schedule = FaultSchedule([
+                FaultEvent(0.01, "box-crash", boxes[0]),
+                FaultEvent(0.30, "box-recover", boxes[0]),
+            ])
+            service = AggregationService(ServeConfig(faults=schedule))
+            return [service.handle(_query(rid=f"r{i}", seed=i))["status"]
+                    for i in range(10)]
+
+        assert run_once() == run_once()
+
+
+class TestAnalyzeIntegration:
+    def test_diagnosis_gains_a_serve_section(self):
+        from repro.obs import Tracer, tracing
+        from repro.obs.analyze import diagnose_tracer
+
+        tracer = Tracer()
+        with tracing(tracer):
+            service = AggregationService()
+            service.handle(_query(tenant="a", rid="r1", seed=1))
+            service.handle(_query(tenant="b", rid="r2", seed=2))
+            service.handle({"op": "nope", "tenant": "a", "id": "r3"})
+        diagnosis = diagnose_tracer(tracer)
+        serve = diagnosis["serve"]
+        assert serve["requests"] == 3
+        assert serve["tenants"]["a"]["ok"] == 1
+        assert serve["tenants"]["a"]["statuses"] == {"200": 1, "404": 1}
+        assert serve["tenants"]["b"]["p99_latency"] > 0
+        assert serve["tenants"]["b"]["mean_service"] > 0
+
+    def test_untraced_runs_have_no_serve_section(self):
+        from repro.obs import Tracer
+        from repro.obs.analyze import diagnose_tracer
+
+        assert "serve" not in diagnose_tracer(Tracer())
+
+
+class TestFigServe:
+    def test_admission_wins_at_overload(self):
+        from repro.experiments import QUICK, load
+
+        result = load("fig_serve").run(
+            scale=QUICK, loads=(2.0,), duration=1.0)
+        (row,) = result.rows
+        # The tentpole claim: per-tenant admission preserves aggregate
+        # goodput at 2x overload versus the ungated arm.
+        assert row["adm_goodput"] > row["noadm_goodput"]
+        assert row["adm_cold_attain"] >= row["noadm_cold_attain"]
+        assert row["adm_r429"] > 0
+
+    def test_quick_deterministic(self):
+        from repro.experiments import QUICK, load
+
+        exp = load("fig_serve")
+        a = exp.run(scale=QUICK, seed=4, loads=(1.0,), duration=1.0)
+        b = exp.run(scale=QUICK, seed=4, loads=(1.0,), duration=1.0)
+        assert a.rows == b.rows
