@@ -1,0 +1,20 @@
+"""fig_partition: availability and completeness vs partition severity.
+
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
+"""
+
+from repro.experiments import BENCH, load
+
+
+def bench_fig_partition(benchmark):
+    exp = load("fig_partition")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=BENCH),
+        rounds=1, iterations=1,
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -65,11 +65,20 @@ FAILED = "failed"
 #: *report*, not of the box's own health machine.
 SUSPECT = "suspect"
 
+#: Report-only state like ``suspect``: the platform substitutes
+#: ``gray`` for a box whose heartbeat says ``healthy`` but whose
+#: observed service times the latency-outlier detector flagged
+#: (:class:`repro.core.partition.GrayDetector`).  A gray box is the
+#: heartbeat protocol's blind spot -- alive, responsive to health
+#: probes, and useless -- so, like ``suspect``, it never appears in
+#: :data:`LEGAL_TRANSITIONS`: it is a property of the *report*.
+GRAY = "gray"
+
 HEALTH_STATES = (HEALTHY, PRESSURED, SHEDDING, FAILED)
 
 #: States a :class:`BoxHeartbeat` may carry (machine states plus the
-#: platform-synthesised ``suspect``).
-REPORTABLE_STATES = HEALTH_STATES + (SUSPECT,)
+#: platform-synthesised ``suspect``/``gray``).
+REPORTABLE_STATES = HEALTH_STATES + (SUSPECT, GRAY)
 
 #: state -> states it may legally transition to.
 LEGAL_TRANSITIONS: Dict[str, Tuple[str, ...]] = {

@@ -19,6 +19,9 @@
   (per-tenant token buckets, queue-depth NACKs);
 - :mod:`repro.core.overload` -- the platform's overload-control
   configuration tying queues, breakers and admission together;
+- :mod:`repro.core.partition` -- partition tolerance: gray-failure
+  detection (seeded-EWMA latency outliers), hedged deliveries, and
+  partial-aggregate completeness records;
 - :mod:`repro.core.optimizer` -- the self-healing control plane: a
   deterministic audit -> strategy -> action-plan -> apply loop that
   migrates subtrees off sick boxes with two-phase drain-then-cutover.
@@ -56,6 +59,13 @@ from repro.core.optimizer import (
     get_strategy,
 )
 from repro.core.overload import OverloadConfig
+from repro.core.partition import (
+    Completeness,
+    GrayDetector,
+    GrayPolicy,
+    PartitionPolicy,
+    SubtreeUnreachable,
+)
 from repro.core.platform import NetAggPlatform
 from repro.core.recovery import (
     InFlightRequest,
@@ -104,6 +114,11 @@ __all__ = [
     "AdmissionPolicy",
     "TokenBucket",
     "OverloadConfig",
+    "Completeness",
+    "GrayDetector",
+    "GrayPolicy",
+    "PartitionPolicy",
+    "SubtreeUnreachable",
     "SocketFactory",
     "NetAggSocketFactory",
     "MulticastTree",

@@ -1,0 +1,237 @@
+"""Partition tolerance: gray-failure detection and partial delivery.
+
+NetAgg's §3.1 failover assumes failures are *clean*: a box crashes, its
+heartbeat stops, the tree rewires.  This module covers the two failure
+shapes that story misses:
+
+- **gray failures** -- a box keeps heartbeating but runs an order of
+  magnitude slow.  :class:`GrayDetector` watches per-box observed
+  service times against a seeded EWMA baseline and flags outliers; the
+  platform reports flagged boxes as ``gray`` in its health feed, plans
+  new trees around them, and -- under a :class:`PartitionPolicy` with
+  ``hedge`` on -- races deliveries into them against a hedge deadline
+  instead of waiting the slow path out;
+- **partitions** -- a subtree is unreachable, not dead.  Rather than
+  fail the request, the platform can complete it *partially*, dropping
+  exactly the unreachable workers and attaching a
+  :class:`Completeness` record so the caller knows precisely what the
+  aggregate covers (the bounded-completeness degraded mode of the
+  distributed-aggregation literature).
+
+Everything here is deterministic on the platform's virtual clock; the
+detector has no wall-clock or randomness of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GrayPolicy:
+    """Tuning of the latency-outlier gray-failure detector.
+
+    Attributes:
+        alpha: EWMA smoothing weight for healthy samples.
+        threshold: a sample ``threshold`` times the EWMA baseline flags
+            the box gray.
+        min_samples: observations (including the seed baseline) needed
+            before the detector trusts its baseline enough to flag.
+        baseline: seed value for the EWMA (the platform seeds it with
+            the retry policy's healthy ``send_latency``, so the
+            detector can flag from the very first outlier).
+    """
+
+    alpha: float = 0.3
+    threshold: float = 4.0
+    min_samples: int = 1
+    baseline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if self.threshold <= 1.0:
+            raise ValueError("threshold must be > 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.baseline is not None and self.baseline <= 0:
+            raise ValueError("baseline must be positive")
+
+
+class GrayDetector:
+    """Seeded-EWMA latency-outlier detection over per-box service times.
+
+    ``observe`` folds healthy samples into the box's EWMA baseline;
+    a sample beyond ``threshold`` times the baseline flags the box
+    *without* poisoning the baseline (otherwise a long gray episode
+    would normalise itself).  A subsequent healthy sample clears the
+    flag -- post-heal traffic returns the box to service.
+    """
+
+    def __init__(self, policy: GrayPolicy,
+                 baseline: Optional[float] = None) -> None:
+        self._policy = policy
+        self._baseline = policy.baseline if baseline is None else baseline
+        self._ewma: Dict[str, float] = {}
+        self._count: Dict[str, int] = {}
+        self._flagged: Dict[str, float] = {}
+
+    def observe(self, box_id: str, service_time: float,
+                at: float) -> bool:
+        """Fold one observed service time; returns True when flagged."""
+        policy = self._policy
+        ewma = self._ewma.get(box_id)
+        seen = self._count.get(box_id, 0)
+        if ewma is None:
+            if self._baseline is not None:
+                ewma, seen = self._baseline, seen + 1
+            else:
+                # No prior at all: the first sample becomes the baseline.
+                self._ewma[box_id] = service_time
+                self._count[box_id] = seen + 1
+                return False
+        self._count[box_id] = seen + 1
+        if seen >= policy.min_samples and ewma > 0 \
+                and service_time > policy.threshold * ewma:
+            self._flagged[box_id] = at
+            return True
+        self._flagged.pop(box_id, None)
+        self._ewma[box_id] = ewma + policy.alpha * (service_time - ewma)
+        return False
+
+    def is_gray(self, box_id: str) -> bool:
+        return box_id in self._flagged
+
+    def gray_boxes(self) -> List[str]:
+        return sorted(self._flagged)
+
+    def baseline_of(self, box_id: str) -> Optional[float]:
+        return self._ewma.get(box_id, self._baseline)
+
+
+@dataclass(frozen=True)
+class PartitionPolicy:
+    """How a platform responds to partitions and gray boxes.
+
+    Attributes:
+        allow_partial: complete requests without unreachable workers,
+            attaching :class:`Completeness`; off, an unreachable
+            subtree raises :class:`SubtreeUnreachable` (the fail-stop
+            baseline).
+        hedge: race slow deliveries against ``hedge_deadline`` instead
+            of waiting them out (the hedged duplicate costs one extra
+            healthy send).
+        hedge_deadline: virtual seconds a delivery may take before the
+            hedge fires; ``None`` disables hedging regardless of
+            ``hedge``.
+        avoid_gray: plan new trees around detector-flagged boxes (the
+            NACK/ladder path, like pressured health).
+        gray: detector tuning.
+    """
+
+    allow_partial: bool = True
+    hedge: bool = True
+    hedge_deadline: Optional[float] = 0.01
+    avoid_gray: bool = True
+    gray: GrayPolicy = GrayPolicy()
+
+    def hedging(self) -> bool:
+        return self.hedge and self.hedge_deadline is not None
+
+
+@dataclass(frozen=True)
+class Completeness:
+    """What fraction of the request's workers an aggregate covers.
+
+    ``exact`` is True only when every worker's partial is included --
+    the label tests verify against ground truth (a partial result must
+    never claim exactness).
+    """
+
+    workers_total: int
+    workers_included: int
+    missing_workers: Tuple[int, ...] = ()
+    #: Partition scopes (domain names) that cut the missing workers off.
+    missing_scopes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.workers_total < 0 or self.workers_included < 0:
+            raise ValueError("worker counts must be >= 0")
+        if self.workers_included > self.workers_total:
+            raise ValueError("included exceeds total")
+        if len(self.missing_workers) != \
+                self.workers_total - self.workers_included:
+            raise ValueError(
+                f"{len(self.missing_workers)} missing workers listed for "
+                f"{self.workers_total - self.workers_included} missing")
+
+    @property
+    def fraction(self) -> float:
+        if self.workers_total == 0:
+            return 1.0
+        return self.workers_included / self.workers_total
+
+    @property
+    def exact(self) -> bool:
+        return self.workers_included == self.workers_total
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "exact": self.exact,
+            "fraction": self.fraction,
+            "workers_total": self.workers_total,
+            "workers_included": self.workers_included,
+            "missing_workers": list(self.missing_workers),
+            "missing_scopes": list(self.missing_scopes),
+        }
+
+    @classmethod
+    def exact_for(cls, n_workers: int) -> "Completeness":
+        return cls(workers_total=n_workers, workers_included=n_workers)
+
+    @classmethod
+    def merged(cls, parts: List["Completeness"]) -> "Completeness":
+        """Combine per-tree completeness (batch jobs): a worker is
+        missing from the job if it was missing from any tree."""
+        if not parts:
+            return cls(0, 0)
+        total = max(p.workers_total for p in parts)
+        missing: Dict[int, None] = {}
+        scopes: List[str] = []
+        for p in parts:
+            for w in p.missing_workers:
+                missing[w] = None
+            scopes.extend(p.missing_scopes)
+        return cls(
+            workers_total=total,
+            workers_included=total - len(missing),
+            missing_workers=tuple(sorted(missing)),
+            missing_scopes=tuple(sorted(set(scopes))),
+        )
+
+
+@dataclass
+class SubtreeUnreachable(RuntimeError):
+    """A request could not reach part (or all) of its workers.
+
+    Raised when partial delivery is disabled (the fail-stop baseline)
+    or when *no* worker is reachable (there is nothing to aggregate
+    partially).
+    """
+
+    request_id: str
+    missing_workers: Tuple[int, ...] = ()
+    scopes: Tuple[str, ...] = ()
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        scopes = ", ".join(self.scopes) or "unknown scope"
+        extra = f" ({self.detail})" if self.detail else ""
+        return (
+            f"request {self.request_id!r}: {len(self.missing_workers)} "
+            f"worker(s) unreachable across [{scopes}]{extra}"
+        )

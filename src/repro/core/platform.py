@@ -38,6 +38,8 @@ from repro.aggbox.box import AggBoxRuntime, AppBinding
 from repro.aggbox.functions import AggregationFunction
 from repro.aggbox.overload import (
     FAILED as BOX_FAILED,
+    GRAY,
+    HEALTHY,
     PRESSURED,
     SHEDDING,
     SUSPECT,
@@ -47,6 +49,12 @@ from repro.core.admission import AdmissionController
 from repro.core.breaker import HALF_OPEN, BreakerBoard
 from repro.core.failure import rewire_failed_box
 from repro.core.overload import OverloadConfig
+from repro.core.partition import (
+    Completeness,
+    GrayDetector,
+    PartitionPolicy,
+    SubtreeUnreachable,
+)
 from repro.core.shim import MasterShim, ShimEvent, WorkerShim
 from repro.core.tree import AggregationTree, TreeBuilder
 from repro.netsim.routing import stable_hash
@@ -78,6 +86,11 @@ class RequestOutcome:
     #: shims performed while executing this request (empty when the
     #: platform has no fault injector).
     shim_events: List[ShimEvent] = field(default_factory=list)
+    #: What fraction of the workers this value covers.  ``None`` on a
+    #: platform without a :class:`repro.core.partition.PartitionPolicy`;
+    #: otherwise always present, ``exact`` unless workers were dropped
+    #: behind a partition (partial delivery).
+    completeness: Optional[Completeness] = None
 
     def events_of_kind(self, kind: str) -> List[ShimEvent]:
         return [e for e in self.shim_events if e.kind == kind]
@@ -99,11 +112,24 @@ class NetAggPlatform:
     with the health state machine, per-target circuit breakers at
     connect time, admission control at the master shim, and tree
     re-planning away from pressured boxes.
+
+    ``partition`` switches on the partition-tolerance plane (see
+    :class:`repro.core.partition.PartitionPolicy`): workers the fault
+    oracle reports as isolated from the master (``isolated``) are
+    dropped from the request instead of failing it, and the outcome
+    carries a :class:`repro.core.partition.Completeness` record; slow
+    deliveries are hedged against a deadline; and a
+    :class:`repro.core.partition.GrayDetector` flags slow-but-alive
+    boxes, which the health feed reports as ``gray`` and the planner
+    routes around.  Without a policy, an isolated worker fails the
+    whole request with :class:`SubtreeUnreachable` (the fail-stop
+    baseline).
     """
 
     def __init__(self, topo: Topology, faults: Optional[Any] = None,
                  retry: Optional[Any] = None,
-                 overload: Optional[OverloadConfig] = None) -> None:
+                 overload: Optional[OverloadConfig] = None,
+                 partition: Optional[PartitionPolicy] = None) -> None:
         self._topo = topo
         self._builder = TreeBuilder(topo)
         self._overload = overload
@@ -122,6 +148,15 @@ class NetAggPlatform:
             from repro.faults.retry import RetryPolicy
             retry = RetryPolicy()
         self._retry = retry
+        self._partition = partition
+        self._gray: Optional[GrayDetector] = None
+        if partition is not None and faults is not None:
+            seed = partition.gray.baseline
+            if seed is None and self._retry is not None:
+                # Seed the EWMA with the healthy send latency so the
+                # detector can flag from the very first outlier.
+                seed = self._retry.send_latency
+            self._gray = GrayDetector(partition.gray, baseline=seed)
         self._breakers = (
             BreakerBoard(overload.breaker)
             if overload is not None and overload.breaker is not None
@@ -208,6 +243,16 @@ class NetAggPlatform:
         """The master-shim admission controller (None when disabled)."""
         return self._admission
 
+    @property
+    def partition_policy(self) -> Optional[PartitionPolicy]:
+        """The partition-tolerance policy (None = fail-stop baseline)."""
+        return self._partition
+
+    @property
+    def gray_detector(self) -> Optional[GrayDetector]:
+        """The latency-outlier detector (None without a partition policy)."""
+        return self._gray
+
     def health_report(
         self, staleness: Optional[float] = None,
     ) -> Dict[str, BoxHeartbeat]:
@@ -220,6 +265,11 @@ class NetAggPlatform:
         report carries ``suspect`` instead of the last-known state.  A
         box already reporting ``failed`` stays ``failed`` (worse news
         wins).  ``None`` disables the check.
+
+        With a partition policy, a box whose own heartbeat says
+        ``healthy`` but that the latency-outlier detector has flagged
+        is reported as ``gray`` -- the heartbeat protocol's blind spot
+        made visible (gray failure: alive, probing fine, and slow).
         """
         if staleness is None and self._overload is not None:
             staleness = self._overload.heartbeat_staleness
@@ -229,6 +279,9 @@ class NetAggPlatform:
             if staleness is not None and beat.state != BOX_FAILED \
                     and self._clock - runtime.clock > staleness:
                 beat = replace(beat, state=SUSPECT)
+            if beat.state == HEALTHY and self._gray is not None \
+                    and self._gray.is_gray(box_id):
+                beat = replace(beat, state=GRAY)
             report[box_id] = beat
         return report
 
@@ -355,6 +408,8 @@ class NetAggPlatform:
         boxes_used = [b for o in outcomes for b in o.boxes_used]
         responses: List[Tuple[int, Any]] = [(0, merged)]
         responses.extend((i, None) for i in range(1, len(hosts)))
+        parts = [o.completeness for o in outcomes
+                 if o.completeness is not None]
         return RequestOutcome(
             request_id=job_id,
             value=merged,
@@ -363,6 +418,7 @@ class NetAggPlatform:
             trees_used=[t.tree_index for t in trees],
             bytes_into_boxes=sum(o.bytes_into_boxes for o in outcomes),
             shim_events=[e for o in outcomes for e in o.shim_events],
+            completeness=Completeness.merged(parts) if parts else None,
         )
 
     # -- internals -----------------------------------------------------------
@@ -402,8 +458,26 @@ class NetAggPlatform:
         )
         self._admission.admit(tenant, self._clock, queue_depth=depth)
 
+    def _box_unreachable(self, box_id: str,
+                         master: Optional[str]) -> bool:
+        """Down, or cut off from the master by an active partition.
+
+        A partitioned box is alive but its aggregates cannot reach the
+        master, so from the request's point of view it is exactly as
+        unreachable as a crashed one -- connect attempts time out.
+        """
+        if self._faults.box_down(box_id, self._clock):
+            return True
+        if master is not None:
+            isolated = getattr(self._faults, "isolated", None)
+            if isolated is not None \
+                    and isolated(box_id, master, self._clock) is not None:
+                return True
+        return False
+
     def _probe_box(self, box_id: str, request_key: str,
-                   events: List[ShimEvent]) -> bool:
+                   events: List[ShimEvent],
+                   master: Optional[str] = None) -> bool:
         """Connect-time probe with retries, burning virtual clock.
 
         Each failed attempt costs ``timeout`` plus a jittered backoff;
@@ -413,7 +487,9 @@ class NetAggPlatform:
         With circuit breakers enabled, an open breaker fails the probe
         immediately (zero clock burnt); a half-open breaker allows one
         probe attempt only.  With a retry ``deadline``, attempts stop
-        once the send's clock budget is exhausted.
+        once the send's clock budget is exhausted.  ``master`` extends
+        the verdict to partition scopes: a box isolated from the master
+        fails its probes for as long as the partition holds.
         """
         policy = self._retry
         breaker = (self._breakers.breaker(box_id)
@@ -440,7 +516,7 @@ class NetAggPlatform:
                                      detail=f"budget {policy.deadline:g}",
                                      request=request_key)
                     return False
-                if not self._faults.box_down(box_id, self._clock):
+                if not self._box_unreachable(box_id, master):
                     self._clock += policy.send_latency
                     if breaker is not None:
                         breaker.record_success(self._clock)
@@ -463,7 +539,10 @@ class NetAggPlatform:
 
         Scheduled ``BOX_SHED`` windows and the box's own health feed
         (``pressured``/``shedding``) both refuse new work; the sender
-        walks its ladder instead of loading the box further.
+        walks its ladder instead of loading the box further.  Under a
+        partition policy with ``avoid_gray``, detector-flagged boxes
+        are planned out the same way -- a gray box heartbeats fine, so
+        only the latency feed can get it out of new trees.
         """
         if self._faults is not None:
             shedding = getattr(self._faults, "shedding", None)
@@ -473,6 +552,22 @@ class NetAggPlatform:
             state = self._boxes[box_id].health
             if state in (PRESSURED, SHEDDING):
                 return f"health={state}"
+        if self._gray is not None and self._partition.avoid_gray \
+                and self._gray.is_gray(box_id):
+            # A gray flag must not outlive the episode: re-measure the
+            # box with a hedged probe (clock charge capped at the hedge
+            # deadline plus one healthy send) instead of trusting the
+            # stale flag forever.  A recovered box clears itself here
+            # and returns to the planner.
+            cost = self._retry.send_latency * self._delivery_factor(box_id)
+            self._gray.observe(box_id, cost, at=self._clock)
+            if self._partition.hedging():
+                cost = min(cost,
+                           self._partition.hedge_deadline
+                           + self._retry.send_latency)
+            self._clock += cost
+            if self._gray.is_gray(box_id):
+                return "gray"
         return None
 
     def _resolve_tree(self, tree: AggregationTree, request_key: str,
@@ -492,7 +587,8 @@ class NetAggPlatform:
         for box_id in sorted(tree.boxes):
             reachable = probes.get(box_id)
             if reachable is None:
-                reachable = (self._probe_box(box_id, request_key, events)
+                reachable = (self._probe_box(box_id, request_key, events,
+                                             master=tree.master)
                              if self._faults is not None else True)
                 if reachable:
                     reason = self._overload_nack_reason(box_id)
@@ -512,22 +608,78 @@ class NetAggPlatform:
                                      request=request_key)
         return effective
 
-    def _note_degradation(self, box_id: str, source: str,
-                          events: List[ShimEvent],
-                          request: str = "") -> None:
-        """Charge a delivery's clock cost, inflated if the box is slow."""
-        if self._faults is None:
-            return
+    def _delivery_factor(self, box_id: str) -> float:
+        """Combined slowdown of a delivery into ``box_id`` right now
+        (capacity degradation x overload window x gray window)."""
         factor = self._faults.degradation(box_id, self._clock)
         overload = getattr(self._faults, "overload_factor", None)
         if overload is not None:
             factor *= overload(box_id, self._clock)
+        gray = getattr(self._faults, "gray_factor", None)
+        if gray is not None:
+            factor *= gray(box_id, self._clock)
+        return factor
+
+    def _note_degradation(self, box_id: str, source: str,
+                          events: List[ShimEvent],
+                          request: str = "") -> None:
+        """Charge a delivery's clock cost, inflated if the box is slow.
+
+        The true (pre-hedge) cost feeds the gray detector: hedging
+        hides latency from the request, not from the health machinery.
+        With hedging on, a delivery slower than the hedge deadline is
+        raced against a duplicate send down the healthy path, capping
+        the charged cost at ``hedge_deadline`` plus one healthy send.
+        """
+        if self._faults is None:
+            return
+        factor = self._delivery_factor(box_id)
         cost = self._retry.send_latency * factor
+        if self._gray is not None:
+            self._gray.observe(box_id, cost, at=self._clock)
+        policy = self._partition
+        if policy is not None and policy.hedging() \
+                and cost > policy.hedge_deadline:
+            hedged = policy.hedge_deadline + self._retry.send_latency
+            if hedged < cost:
+                self._clock += hedged
+                self._emit_event(
+                    events, "hedge", source, box_id,
+                    detail=f"saved {cost - hedged:g}", request=request,
+                    cost=hedged)
+                return
         self._clock += cost
         if factor > 1.0:
             self._emit_event(events, "degraded", source, box_id,
                              detail=f"x{factor:g}", request=request,
                              cost=cost)
+
+    def _prune_excluded(self, tree: AggregationTree,
+                        excluded: Dict[int, str]) -> AggregationTree:
+        """Rewire out boxes whose every input is behind the partition.
+
+        Runs *before* probing: a box that only serves excluded workers
+        would otherwise burn the full retry budget timing out against
+        the partition, for a subtree that cannot contribute anyway.
+        Pruning cascades (a parent whose only child was pruned goes
+        next), so the surviving tree has live inputs at every vertex.
+        """
+        if not excluded:
+            return tree
+        pruned = tree
+        changed = True
+        while changed:
+            changed = False
+            for box_id in sorted(pruned.boxes):
+                vertex = pruned.boxes[box_id]
+                if vertex.children:
+                    continue
+                if any(w not in excluded for w in vertex.direct_workers):
+                    continue
+                pruned = rewire_failed_box(pruned, box_id)
+                changed = True
+                break
+        return pruned
 
     def _wait_out_churn(self, worker_index: int,
                         events: List[ShimEvent],
@@ -571,23 +723,54 @@ class NetAggPlatform:
         events: List[ShimEvent] = []
         probes: Dict[str, bool] = {}
         nacked: Set[str] = set()
-        # Resolve the effective trees first: unreachable boxes rewired
+        # Partition check first: workers the fault oracle reports as
+        # isolated from the master cannot deliver, no matter how many
+        # retries are burnt.  With a partition policy they are dropped
+        # (partial delivery); without one the request fails fast -- the
+        # fail-stop baseline.
+        excluded: Dict[int, str] = {}
+        if self._faults is not None:
+            isolated = getattr(self._faults, "isolated", None)
+            if isolated is not None:
+                for index, (host, _) in enumerate(worker_partials):
+                    scope = isolated(host, master, self._clock)
+                    if scope is not None:
+                        excluded[index] = scope
+        if excluded:
+            missing = tuple(sorted(excluded))
+            scopes = tuple(sorted(set(excluded.values())))
+            if self._partition is None or not self._partition.allow_partial:
+                raise SubtreeUnreachable(request_id, missing, scopes,
+                                         detail="partial delivery disabled")
+            if len(excluded) == len(worker_partials):
+                raise SubtreeUnreachable(request_id, missing, scopes,
+                                         detail="no reachable workers")
+            for index in missing:
+                self._emit_event(events, "partition", f"worker:{index}",
+                                 excluded[index], request=request_id)
+        # Resolve the effective trees next: partition-only subtrees are
+        # pruned without probing, then unreachable boxes are rewired
         # out before announcement keeps every expected count honest.
         pairs = [
             (tree,
-             self._resolve_tree(tree, request_id, probes, events, nacked))
+             self._resolve_tree(self._prune_excluded(tree, excluded),
+                                request_id, probes, events, nacked))
             for tree in trees
         ]
-        shim.intercept_request(request_id, [eff for _, eff in pairs])
+        shim.intercept_request(request_id, [eff for _, eff in pairs],
+                               excluded=sorted(excluded))
         boxes_used: List[str] = []
         bytes_in = 0.0
         rng = random.Random(stable_hash(request_id) & 0xFFFF)
 
         for original, tree in pairs:
             tree_request = self._tree_request(request_id, tree)
-            # Announce expected input counts to each participating box.
+            # Announce expected input counts to each participating box
+            # (excluded workers will never emit, so they are not
+            # expected anywhere).
             for box_id, vertex in tree.boxes.items():
-                expected = len(vertex.direct_workers) + len(vertex.children)
+                expected = sum(1 for w in vertex.direct_workers
+                               if w not in excluded) + len(vertex.children)
                 self._boxes[box_id].announce(app, tree_request, expected)
 
             # Workers emit; shims walk the ladder into the entry boxes.
@@ -596,7 +779,7 @@ class NetAggPlatform:
             # effective tree's entry, so the announced counts match.
             transport = _RequestTransport(
                 self, app, request_id, tree_request, shim, events, probes,
-                rng,
+                rng, master=master,
             )
             # Emissions queued for upstream delivery.  Each entry is
             # (box_id, aggregate, source_tag): the final emission of a
@@ -614,6 +797,8 @@ class NetAggPlatform:
                     ready.append((box_id, delta, f"box:{box_id}@d{k}"))
 
             for index, (host, value) in enumerate(worker_partials):
+                if index in excluded:
+                    continue
                 self._wait_out_churn(index, events, request=request_id)
                 wshim = WorkerShim(host, index, [original])
                 landed, emitted, nbytes = wshim.send(value, transport)
@@ -672,6 +857,14 @@ class NetAggPlatform:
         responses = shim.emulate_worker_responses(
             request_id, merge=self._mergers[app]
         )
+        completeness = None
+        if self._partition is not None:
+            completeness = Completeness(
+                workers_total=len(worker_partials),
+                workers_included=len(worker_partials) - len(excluded),
+                missing_workers=tuple(sorted(excluded)),
+                missing_scopes=tuple(sorted(set(excluded.values()))),
+            )
         return RequestOutcome(
             request_id=request_id,
             value=responses[0][1],
@@ -680,6 +873,7 @@ class NetAggPlatform:
             trees_used=[t.tree_index for t in trees],
             bytes_into_boxes=bytes_in,
             shim_events=events,
+            completeness=completeness,
         )
 
     @staticmethod
@@ -732,7 +926,7 @@ class _RequestTransport:
     def __init__(self, platform: NetAggPlatform, app: str, request_id: str,
                  tree_request: str, master_shim: MasterShim,
                  events: List[ShimEvent], probes: Dict[str, bool],
-                 rng: random.Random) -> None:
+                 rng: random.Random, master: str = "") -> None:
         self._platform = platform
         self._app = app
         self._request_id = request_id
@@ -741,6 +935,7 @@ class _RequestTransport:
         self._events = events
         self._probes = probes
         self._rng = rng
+        self._master = master or None
 
     def connect(self, source: str, box_id: str) -> bool:
         platform = self._platform
@@ -749,7 +944,8 @@ class _RequestTransport:
         reachable = self._probes.get(box_id)
         if reachable is None:
             reachable = platform._probe_box(
-                box_id, f"{self._request_id}/{source}", self._events)
+                box_id, f"{self._request_id}/{source}", self._events,
+                master=self._master)
             self._probes[box_id] = reachable
         return reachable
 

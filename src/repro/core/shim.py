@@ -53,7 +53,15 @@ class ShimEvent:
                         degraded early;
         ``nack``        a reachable box refused new work (shed window or
                         pressured health) and was planned out of the
-                        request's tree.
+                        request's tree;
+        ``partition``   a worker was isolated from the master by an
+                        active partition scope (``target`` names the
+                        scope) and dropped from the request (partial
+                        delivery);
+        ``hedge``       a slow delivery into ``target`` was raced
+                        against the hedge deadline instead of waited
+                        out (the charged cost is capped at the
+                        deadline plus one healthy send).
     """
 
     at: float
@@ -160,20 +168,32 @@ class MasterShim:
         self._requests: Dict[str, _RequestEntry] = {}
 
     def intercept_request(self, request_id: str,
-                          trees: Sequence[AggregationTree]) -> Dict[int, int]:
+                          trees: Sequence[AggregationTree],
+                          excluded: Sequence[int] = (),
+                          ) -> Dict[int, int]:
         """Record an outgoing request's metadata.
 
         Returns, per tree index, the number of partial results the boxes
         of that tree should expect at their leaves -- the announcement
         the shim sends to agg boxes (§3.2.2, "Partial result collection").
+
+        ``excluded`` names worker indices that will *not* emit (workers
+        behind a network partition, dropped by the platform's
+        partial-delivery path): they are subtracted from each tree's
+        expected count so partial requests still complete, and boxes
+        never wait for partials that cannot arrive.
         """
         if request_id in self._requests:
             raise ValueError(f"duplicate request id {request_id!r}")
         if not trees:
             raise ValueError("request needs at least one tree")
         n_workers = len(trees[0].worker_entry)
+        skipped = set(excluded)
         expected = {
-            tree.tree_index: n_workers - len(tree.direct_workers())
+            tree.tree_index: sum(
+                1 for worker, entry in tree.worker_entry.items()
+                if entry is not None and worker not in skipped
+            )
             for tree in trees
         }
         self._requests[request_id] = _RequestEntry(

@@ -71,6 +71,7 @@ MODULES: List[str] = [
     "fig_overload",
     "fig_selfheal",
     "fig_serve",
+    "fig_partition",
 ]
 
 

@@ -21,9 +21,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.failure import rewire_failed_box
 from repro.core.tree import AggregationTree, TreeBuilder
+from repro.faults.domains import in_scope, topology_domains
 from repro.faults.schedule import (
     BOX_CRASH,
     BOX_DEGRADE,
+    BOX_GRAY,
     BOX_MIGRATE,
     BOX_OVERLOAD,
     BOX_RECOVER,
@@ -59,7 +61,9 @@ class SimFaultInjector:
 
     def __init__(self, topo: Topology, schedule: FaultSchedule) -> None:
         self._topo = topo
-        self._schedule = schedule
+        # Correlated domain markers expand against the topology's own
+        # domains, so the flow layer sees the member crashes/link cuts.
+        self._schedule = schedule.expanded(topology_domains(topo))
         self._known_boxes = {info.box_id for info in topo.all_boxes()}
 
     @property
@@ -88,7 +92,9 @@ class SimFaultInjector:
         for its window (service slows under queueing) and restores it
         at window end; ``box-shed`` zeroes the box's downlink for its
         window (refused ingress), so shed/NACK episodes show up in the
-        flow-level FCTs of whatever was in flight.  Events whose target
+        flow-level FCTs of whatever was in flight; ``box-gray`` slows
+        the processing link for its window exactly like an overload
+        (the flow layer has no heartbeats to fool).  Events whose target
         does not exist in ``network`` (e.g. box faults replayed against
         a boxless baseline topology) are skipped, so the same schedule
         applies to every strategy.
@@ -98,7 +104,8 @@ class SimFaultInjector:
         for event in self._schedule:
             windowed: List[Tuple[str, float]] = []
             if event.kind in (BOX_CRASH, BOX_RECOVER, BOX_DEGRADE,
-                              BOX_OVERLOAD, BOX_SHED, BOX_MIGRATE):
+                              BOX_OVERLOAD, BOX_SHED, BOX_MIGRATE,
+                              BOX_GRAY):
                 if event.target not in self._known_boxes:
                     continue
                 info = self._topo.box(event.target)
@@ -107,7 +114,7 @@ class SimFaultInjector:
                     changes = [(l, 0.0) for l in box_links if l in base]
                 elif event.kind == BOX_RECOVER:
                     changes = [(l, base[l]) for l in box_links if l in base]
-                elif event.kind == BOX_OVERLOAD:
+                elif event.kind in (BOX_OVERLOAD, BOX_GRAY):
                     changes = [
                         (info.proc_link, base[info.proc_link] / event.severity)
                     ] if info.proc_link in base else []
@@ -276,14 +283,29 @@ class PlatformFaultInjector:
     schedule and that clock, so request outcomes are reproducible.
     Faults are evaluated when a shim *connects* -- mid-stream box death
     is the domain of :class:`repro.core.recovery.InFlightRequest`.
+
+    Constructed with a ``topo``, the injector becomes partition-aware:
+    domain markers in the schedule expand into member events, and
+    :meth:`isolated` answers whether an active partition scope
+    separates two endpoints (exactly one of them inside the scope).
+    Without a topology the markers are ignored, preserving the old
+    behaviour.
     """
 
-    def __init__(self, schedule: FaultSchedule) -> None:
+    def __init__(self, schedule: FaultSchedule,
+                 topo: Optional[Topology] = None) -> None:
+        self._topo = topo
+        if topo is not None:
+            schedule = schedule.expanded(topology_domains(topo))
         self._schedule = schedule
 
     @property
     def schedule(self) -> FaultSchedule:
         return self._schedule
+
+    @property
+    def topo(self) -> Optional[Topology]:
+        return self._topo
 
     def box_down(self, box_id: str, t: float) -> bool:
         """Is the box crashed (and not yet recovered) at clock ``t``?"""
@@ -311,6 +333,33 @@ class PlatformFaultInjector:
         time: new trees must route around it until cutover completes."""
         return self._schedule.shedding_at(box_id, t) \
             or self._schedule.migrating_at(box_id, t)
+
+    def gray_factor(self, box_id: str, t: float) -> float:
+        """Gray slow-down factor at ``t`` (1.0 = none).
+
+        Unlike :meth:`degradation`/:meth:`overload_factor`, a gray
+        window is invisible to scheduled health machinery: only the
+        observed service time betrays it.
+        """
+        return self._schedule.gray_at(box_id, t)
+
+    def isolated(self, node_id: str, other: str,
+                 t: float) -> Optional[str]:
+        """The partition scope separating two endpoints at ``t``, if any.
+
+        A scope separates the endpoints when exactly one of them is
+        inside it (both-inside stays connected intra-domain, both
+        outside never crossed the cut).  Returns the scope name, or
+        ``None`` when the endpoints can reach each other (always, when
+        the injector has no topology).
+        """
+        if self._topo is None:
+            return None
+        for scope in self._schedule.partitions_at(t):
+            inside = in_scope(self._topo, node_id, scope)
+            if inside != in_scope(self._topo, other, scope):
+                return scope
+        return None
 
 
 class EmulatorFaultInjector:
@@ -346,7 +395,9 @@ class EmulatorFaultInjector:
                     event.time,
                     lambda r=resource, f=factor: r.degrade(f),
                 )
-            elif event.kind == BOX_OVERLOAD:
+            elif event.kind in (BOX_OVERLOAD, BOX_GRAY):
+                # The emulator has no heartbeat channel to fool, so a
+                # gray window degrades service exactly like overload.
                 factor = event.severity
                 queue.schedule_at(
                     event.time,

@@ -30,7 +30,26 @@ kind            meaning
                 window the box accepts no new trees (like a shed) and
                 the chaos suite may kill boxes *inside* the window to
                 exercise mid-migration recovery and rollback
+``box-gray``    gray failure: the box runs ``severity`` times slow for
+                ``duration`` s while its heartbeat stays healthy --
+                invisible to the health machinery, caught only by the
+                latency-outlier gray detector
+``domain-fail`` the fault domain ``target`` (a rack/ToR/power scope,
+                see :mod:`repro.faults.domains`) fails as a unit;
+                expands into correlated member crashes + border link
+                cuts; ``duration`` 0 means permanent
+``net-partition`` the domain's border links are cut for ``duration`` s
+                (0 = permanent): members stay alive but unreachable
+                from the rest of the fabric
 ==============  =====================================================
+
+``domain-fail`` and ``net-partition`` are *marker* events: injectors
+without a topology skip them, topology-aware ones call
+:meth:`FaultSchedule.expanded` to realise the correlated member events.
+Schedules are validated on construction (:meth:`FaultSchedule.validate`)
+so incoherent timelines -- a recover with nothing to recover from,
+overlapping crash windows for one target -- fail loudly with the
+offending events named.
 """
 
 from __future__ import annotations
@@ -38,7 +57,16 @@ from __future__ import annotations
 import random
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 BOX_CRASH = "box-crash"
 BOX_RECOVER = "box-recover"
@@ -50,12 +78,19 @@ CLOCK_SKEW = "clock-skew"
 BOX_OVERLOAD = "box-overload"
 BOX_SHED = "box-shed"
 BOX_MIGRATE = "box-migrate"
+BOX_GRAY = "box-gray"
+DOMAIN_FAIL = "domain-fail"
+NET_PARTITION = "net-partition"
 
 FAULT_KINDS = frozenset({
     BOX_CRASH, BOX_RECOVER, BOX_DEGRADE,
     LINK_DOWN, LINK_UP, WORKER_CHURN, CLOCK_SKEW,
     BOX_OVERLOAD, BOX_SHED, BOX_MIGRATE,
+    BOX_GRAY, DOMAIN_FAIL, NET_PARTITION,
 })
+
+#: Marker kinds a topology-aware consumer expands into member events.
+DOMAIN_KINDS = frozenset({DOMAIN_FAIL, NET_PARTITION})
 
 
 @dataclass(frozen=True, order=True)
@@ -104,14 +139,102 @@ class FaultSchedule:
 
     _events: List[FaultEvent] = field(default_factory=list)
 
-    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+    def __init__(self, events: Iterable[FaultEvent] = (),
+                 validate: bool = True) -> None:
         self._events = sorted(events)
+        if validate:
+            self.validate()
 
     # -- composition ----------------------------------------------------------
 
     def add(self, event: FaultEvent) -> "FaultSchedule":
-        """Insert one event, keeping order.  Returns self for chaining."""
+        """Insert one event, keeping order.  Returns self for chaining.
+
+        ``add`` defers coherence checking (incremental construction may
+        pass through transiently-incoherent states, e.g. a recover
+        inserted before its crash); call :meth:`validate` once the
+        schedule is assembled.
+        """
         insort(self._events, event)
+        return self
+
+    def validate(self) -> "FaultSchedule":
+        """Reject incoherent timelines, naming the offending events.
+
+        Checks (over the raw, unexpanded events):
+
+        - ``box-recover`` with no outstanding crash/degrade/skew on the
+          target (recover-before-crash);
+        - a second ``box-crash`` while the target is still crashed
+          (overlapping crash windows);
+        - ``link-down`` for a link already down / ``link-up`` for a
+          link that is up;
+        - overlapping ``domain-fail``/``net-partition`` windows for the
+          same domain (``duration`` 0 is permanent, so anything later
+          on that domain overlaps).
+
+        Same-timestamp recoveries are applied before same-timestamp
+        faults, so back-to-back windows that touch exactly are legal.
+        Raises :class:`ValueError` listing every violation; returns
+        self when coherent (constructor-chained).
+        """
+        problems: List[str] = []
+        outstanding: Dict[str, Set[str]] = {}
+        links_down: Set[str] = set()
+        domain_end: Dict[Tuple[str, str], float] = {}
+        recovery_kinds = (BOX_RECOVER, LINK_UP)
+        order = sorted(
+            self._events,
+            key=lambda e: (e.time, e.kind not in recovery_kinds,
+                           e.kind, e.target),
+        )
+
+        def name(e: FaultEvent) -> str:
+            return f"{e.kind}@{e.time:g}->{e.target}"
+
+        for e in order:
+            if e.kind == BOX_CRASH:
+                kinds = outstanding.setdefault(e.target, set())
+                if BOX_CRASH in kinds:
+                    problems.append(
+                        f"{name(e)}: overlapping crash windows "
+                        f"({e.target!r} is still crashed)")
+                kinds.add(BOX_CRASH)
+            elif e.kind in (BOX_DEGRADE, CLOCK_SKEW):
+                outstanding.setdefault(e.target, set()).add(e.kind)
+            elif e.kind == BOX_RECOVER:
+                kinds = outstanding.get(e.target)
+                if not kinds:
+                    problems.append(
+                        f"{name(e)}: recover with no outstanding "
+                        f"crash/degrade/skew on {e.target!r}")
+                else:
+                    kinds.clear()
+            elif e.kind == LINK_DOWN:
+                if e.target in links_down:
+                    problems.append(
+                        f"{name(e)}: overlapping down windows "
+                        f"(link {e.target!r} is already down)")
+                links_down.add(e.target)
+            elif e.kind == LINK_UP:
+                if e.target not in links_down:
+                    problems.append(
+                        f"{name(e)}: link-up for {e.target!r} "
+                        "which is not down")
+                links_down.discard(e.target)
+            elif e.kind in DOMAIN_KINDS:
+                key = (e.kind, e.target)
+                end = domain_end.get(key)
+                if end is not None and e.time < end:
+                    problems.append(
+                        f"{name(e)}: overlapping {e.kind} windows "
+                        f"for {e.target!r}")
+                new_end = (float("inf") if e.duration <= 0
+                           else e.time + e.duration)
+                domain_end[key] = max(end or 0.0, new_end)
+        if problems:
+            raise ValueError(
+                "incoherent fault schedule: " + "; ".join(problems))
         return self
 
     @property
@@ -251,6 +374,87 @@ class FaultSchedule:
         """All ``box-migrate`` events, in time order."""
         return self.events_for(kind=BOX_MIGRATE)
 
+    def gray_at(self, target: str, t: float) -> float:
+        """Gray slow-down factor of ``target`` at ``t`` (1.0 = none).
+
+        Like :meth:`overload_at`, overlapping windows do not stack (the
+        worst factor applies) -- but a gray window never shows up in
+        the box's own health feed: its heartbeat stays ``healthy``.
+        """
+        factor = 1.0
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.kind == BOX_GRAY and event.target == target \
+                    and t < event.time + event.duration:
+                factor = max(factor, event.severity)
+        return factor
+
+    def partitions_at(self, t: float) -> List[str]:
+        """Partition scopes (domain names) active at ``t``, sorted.
+
+        Both ``net-partition`` and ``domain-fail`` isolate their
+        domain's border: a failed domain's members are (also) crashed,
+        a partitioned domain's members are merely unreachable.  A
+        window with ``duration`` 0 never heals.
+        """
+        scopes: Set[str] = set()
+        for event in self._events:
+            if event.time > t:
+                break
+            if event.kind in DOMAIN_KINDS \
+                    and (event.duration <= 0
+                         or t < event.time + event.duration):
+                scopes.add(event.target)
+        return sorted(scopes)
+
+    def domain_events(self) -> List[FaultEvent]:
+        """All ``domain-fail``/``net-partition`` markers, in time order."""
+        return [e for e in self._events if e.kind in DOMAIN_KINDS]
+
+    def expanded(self, domains: Mapping[str, object]) -> "FaultSchedule":
+        """Realise domain markers as correlated member events.
+
+        ``domains`` maps domain names to
+        :class:`repro.faults.domains.FaultDomain` records (usually
+        :func:`repro.faults.domains.topology_domains`).  Each
+        ``domain-fail`` becomes a ``box-crash`` per member box plus a
+        ``link-down`` per border link (with matching recover/up events
+        at window end when ``duration`` > 0); a ``net-partition`` cuts
+        only the border links.  The markers themselves are retained --
+        consumers that do not understand them skip them -- so
+        :meth:`partitions_at` keeps working on the expanded schedule.
+        Returns self when there is nothing to expand.
+
+        The expansion is *not* re-validated: a member box may legally
+        be crashed both individually and by its domain, which the raw
+        per-event coherence rules would reject.
+        """
+        markers = self.domain_events()
+        if not markers:
+            return self
+        events = list(self._events)
+        for marker in markers:
+            domain = domains.get(marker.target)
+            if domain is None:
+                known = ", ".join(sorted(map(str, domains))) or "none"
+                raise ValueError(
+                    f"cannot expand {marker.kind}@{marker.time:g}: "
+                    f"unknown fault domain {marker.target!r} "
+                    f"(known: {known})")
+            heal = (marker.time + marker.duration
+                    if marker.duration > 0 else None)
+            if marker.kind == DOMAIN_FAIL:
+                for box in domain.boxes:
+                    events.append(FaultEvent(marker.time, BOX_CRASH, box))
+                    if heal is not None:
+                        events.append(FaultEvent(heal, BOX_RECOVER, box))
+            for link in domain.links:
+                events.append(FaultEvent(marker.time, LINK_DOWN, link))
+                if heal is not None:
+                    events.append(FaultEvent(heal, LINK_UP, link))
+        return FaultSchedule(events, validate=False)
+
     def permanent_crashes(self) -> Dict[str, float]:
         """Box id -> crash time, for crashes never followed by a recover."""
         last_crash: Dict[str, float] = {}
@@ -281,6 +485,10 @@ class FaultSchedule:
         migrations: int = 0,
         mean_downtime: Optional[float] = None,
         permanent_fraction: float = 0.25,
+        grays: int = 0,
+        domain_fails: int = 0,
+        partitions: int = 0,
+        domains: Sequence[str] = (),
     ) -> "FaultSchedule":
         """Draw a random but fully seed-determined schedule.
 
@@ -290,30 +498,62 @@ class FaultSchedule:
         after an exponential downtime (exercising retry ride-through).
         Link faults are always flaps (down + up pairs): permanent wire
         cuts would need rerouting below the aggregation layer, which the
-        paper's failure model does not cover.
+        paper's failure model does not cover.  ``grays``/
+        ``domain_fails``/``partitions`` draw gray-failure windows on
+        boxes and domain-failure/partition windows on the given
+        ``domains`` (scope names, see :mod:`repro.faults.domains`).
+
+        Generated schedules are always coherent (:meth:`validate`):
+        when a drawn target's new window would overlap one it already
+        has, the generator rotates deterministically to the next free
+        target in sorted order (consuming no extra randomness) and
+        skips the event if every target is busy.
         """
         if duration <= 0:
             raise ValueError("duration must be positive")
         if box_crashes + degradations + skews + overloads + sheds \
-                + migrations > 0 and not boxes:
+                + migrations + grays > 0 and not boxes:
             raise ValueError("box faults requested but no boxes given")
         if link_flaps > 0 and not links:
             raise ValueError("link flaps requested but no links given")
         if churns > 0 and workers < 1:
             raise ValueError("worker churn requested but no workers given")
+        if domain_fails + partitions > 0 and not domains:
+            raise ValueError("domain faults requested but no domains given")
         rng = random.Random(seed)
         mean_downtime = mean_downtime or duration / 4.0
         events: List[FaultEvent] = []
         boxes = sorted(boxes)
         links = sorted(links)
+        domains = sorted(domains)
+
+        # Per-target claimed windows, shared by every windowed kind the
+        # coherence rules constrain (crash/degrade share the recover
+        # namespace, so they share one busy map per box).
+        busy: Dict[str, List[Tuple[float, float]]] = {}
+
+        def free_target(pool: Sequence[str], drawn: str, start: float,
+                        end: float) -> Optional[str]:
+            at = pool.index(drawn)
+            for step in range(len(pool)):
+                candidate = pool[(at + step) % len(pool)]
+                if not any(s < end and start < e
+                           for s, e in busy.get(candidate, ())):
+                    busy.setdefault(candidate, []).append((start, end))
+                    return candidate
+            return None
 
         for _ in range(box_crashes):
             box = rng.choice(boxes)
             start = rng.uniform(0.0, 0.8 * duration)
+            permanent = rng.random() < permanent_fraction
+            downtime = float("inf") if permanent else min(
+                rng.expovariate(1.0 / mean_downtime), duration - start)
+            box = free_target(boxes, box, start, start + downtime)
+            if box is None:
+                continue
             events.append(FaultEvent(time=start, kind=BOX_CRASH, target=box))
-            if rng.random() >= permanent_fraction:
-                downtime = min(rng.expovariate(1.0 / mean_downtime),
-                               duration - start)
+            if not permanent:
                 events.append(FaultEvent(time=start + downtime,
                                          kind=BOX_RECOVER, target=box))
 
@@ -321,21 +561,26 @@ class FaultSchedule:
             link = rng.choice(links)
             start = rng.uniform(0.0, 0.9 * duration)
             flap = rng.uniform(0.01, 0.2) * duration
+            up_at = min(start + flap, duration)
+            link = free_target(links, link, start, up_at)
+            if link is None:
+                continue
             events.append(FaultEvent(time=start, kind=LINK_DOWN, target=link))
-            events.append(FaultEvent(time=min(start + flap, duration),
-                                     kind=LINK_UP, target=link))
+            events.append(FaultEvent(time=up_at, kind=LINK_UP, target=link))
 
         for _ in range(degradations):
             box = rng.choice(boxes)
             start = rng.uniform(0.0, 0.8 * duration)
             factor = rng.uniform(1.5, 8.0)
+            recover_at = min(start + rng.expovariate(1.0 / mean_downtime),
+                             duration)
+            box = free_target(boxes, box, start, recover_at)
+            if box is None:
+                continue
             events.append(FaultEvent(time=start, kind=BOX_DEGRADE,
                                      target=box, severity=factor))
-            events.append(FaultEvent(
-                time=min(start + rng.expovariate(1.0 / mean_downtime),
-                         duration),
-                kind=BOX_RECOVER, target=box,
-            ))
+            events.append(FaultEvent(time=recover_at, kind=BOX_RECOVER,
+                                     target=box))
 
         for _ in range(churns):
             index = rng.randrange(workers)
@@ -379,5 +624,28 @@ class FaultSchedule:
                 duration=min(rng.uniform(0.02, 0.15) * duration,
                              duration - start),
             ))
+
+        for _ in range(grays):
+            box = rng.choice(boxes)
+            start = rng.uniform(0.0, 0.8 * duration)
+            events.append(FaultEvent(
+                time=start, kind=BOX_GRAY, target=box,
+                severity=rng.uniform(8.0, 64.0),
+                duration=min(rng.uniform(0.1, 0.4) * duration,
+                             duration - start),
+            ))
+
+        for kind, count in ((DOMAIN_FAIL, domain_fails),
+                            (NET_PARTITION, partitions)):
+            for _ in range(count):
+                domain = rng.choice(domains)
+                start = rng.uniform(0.0, 0.7 * duration)
+                window = min(rng.uniform(0.1, 0.3) * duration,
+                             duration - start)
+                domain = free_target(domains, domain, start, start + window)
+                if domain is None:
+                    continue
+                events.append(FaultEvent(time=start, kind=kind,
+                                         target=domain, duration=window))
 
         return cls(events)

@@ -6,9 +6,17 @@ Folds the serving layer's trace records -- ``serve.request`` spans
 per-tenant section ``python -m repro analyze`` prints:
 
     {"requests": N,
-     "tenants": {"tenant-1": {"requests": ..., "ok": ..., "rejected":
-                 ..., "mean_wait": ..., "mean_service": ...,
-                 "p99_latency": ..., "statuses": {"200": ...}}, ...}}
+     "tenants": {"tenant-1": {"requests": ..., "ok": ..., "partial":
+                 ..., "mean_completeness": ..., "hedges": ...,
+                 "rejected": ..., "mean_wait": ..., "mean_service":
+                 ..., "p99_latency": ..., "statuses": {"200": ...}},
+                 ...}}
+
+``partial`` counts 206 responses (partition-tolerant partial
+aggregates), ``mean_completeness`` averages their covered worker
+fraction, and ``hedges`` sums the hedged deliveries the platform
+performed for the tenant's requests -- the per-tenant partition
+attribution.
 
 Latency here is end-to-end from arrival (wait + service), matching the
 numbers the loadgen report prints, so a trace diagnosed after the fact
@@ -47,24 +55,36 @@ def serve_report(trace: TraceData) -> Dict[str, object]:
 
     statuses: Dict[str, Dict[str, int]] = {}
     latencies: Dict[str, List[float]] = {}
+    hedges: Dict[str, int] = {}
+    fractions: Dict[str, List[float]] = {}
     for instant in responses:
         tenant = str(instant.tags.get("tenant", ""))
         status = str(int(instant.tags.get("status", 0)))
         per_tenant = statuses.setdefault(tenant, {})
         per_tenant[status] = per_tenant.get(status, 0) + 1
-        if status == "200":
+        hedges[tenant] = hedges.get(tenant, 0) \
+            + int(instant.tags.get("hedges", 0))
+        if status in ("200", "206"):
             latencies.setdefault(tenant, []).append(
                 float(instant.tags.get("latency", 0.0)))
+        if status == "206":
+            fractions.setdefault(tenant, []).append(
+                float(instant.tags.get("completeness", 1.0)))
 
     tenants: Dict[str, object] = {}
     for tenant in sorted(set(waits) | set(statuses)):
         counts = statuses.get(tenant, {})
         ok = counts.get("200", 0)
+        partial = counts.get("206", 0)
         lat = latencies.get(tenant, [])
+        frac = fractions.get(tenant, [])
         tenants[tenant] = {
             "requests": sum(counts.values()) or len(
                 services.get(tenant, [])),
             "ok": ok,
+            "partial": partial,
+            "mean_completeness": _mean(frac) if frac else 1.0,
+            "hedges": hedges.get(tenant, 0),
             "rejected": sum(n for code, n in counts.items()
                             if code in ("429", "503")),
             "mean_wait": _mean(waits.get(tenant, [])),

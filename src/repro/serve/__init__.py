@@ -5,7 +5,8 @@ Turns the scripted NetAgg reproduction into a service you can hammer:
 - :class:`AggregationService` (:mod:`repro.serve.service`) -- a live
   :class:`repro.core.platform.NetAggPlatform` deployment behind a
   request/response interface with HTTP-style statuses (200 exact
-  aggregate, 429 admission NACK, 503 breaker-open / overload shed);
+  aggregate, 206 partial aggregate with a completeness record, 429
+  admission NACK, 503 breaker-open / overload shed / partition);
 - :mod:`repro.serve.loadgen` -- an open-loop, Zipfian-tenant load
   generator (``python -m repro loadgen``) with deterministic replay;
 - :mod:`repro.serve.http` -- the asyncio HTTP/JSON front-end

@@ -30,11 +30,30 @@ from repro.workload.openloop import OP_MLGRAD, OP_QUERY
 _MAX_BODY = 4 * 1024 * 1024
 
 _REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    200: "OK", 206: "Partial Content", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
+
+
+class _HttpError(Exception):
+    """A request that failed *before* routing (parse/frame layer).
+
+    Carries everything needed to answer with a well-formed JSON error
+    instead of dropping the connection.  ``close`` is set when the
+    stream cannot be resynchronised (an unread oversized body, a
+    garbled request line), so the error is answered and the connection
+    is then closed.
+    """
+
+    def __init__(self, status: int, error: str, reason: str,
+                 close: bool = True) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.error = error
+        self.reason = reason
+        self.close = close
 
 
 class HttpFrontend:
@@ -72,7 +91,19 @@ class HttpFrontend:
                                  writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                request = await _read_request(reader)
+                try:
+                    request = await _read_request(reader)
+                except _HttpError as exc:
+                    # Malformed and oversized requests get a real
+                    # response (400/413 with a JSON body), never a
+                    # silently dropped connection.
+                    await _write_response(
+                        writer, exc.status,
+                        {"status": exc.status, "error": exc.error,
+                         "reason": exc.reason})
+                    if exc.close:
+                        break
+                    continue
                 if request is None:
                     break
                 method, path, body = request
@@ -99,6 +130,7 @@ class HttpFrontend:
                 "tenants": {
                     name: {
                         "requests": t.requests, "ok": t.ok,
+                        "r206": t.partial,
                         "r429": t.rejected_admission,
                         "r503": t.rejected_unavailable,
                         "errors": t.errors,
@@ -129,7 +161,13 @@ class HttpFrontend:
 async def _read_request(
     reader: asyncio.StreamReader,
 ) -> Optional[Tuple[str, str, bytes]]:
-    """Parse one HTTP/1.1 request; None on clean EOF."""
+    """Parse one HTTP/1.1 request; None on clean EOF.
+
+    Raises :class:`_HttpError` on frame-level problems -- a garbled
+    request line (400), an unparseable or negative ``Content-Length``
+    (400), a body larger than the 4 MiB frame limit (413) -- so the
+    connection handler can answer them properly.
+    """
     try:
         line = await reader.readline()
     except (ConnectionError, ValueError):
@@ -138,8 +176,9 @@ async def _read_request(
         return None
     try:
         method, target, _version = line.decode("ascii").split(None, 2)
-    except ValueError:
-        raise asyncio.IncompleteReadError(line, None)
+    except (UnicodeDecodeError, ValueError):
+        raise _HttpError(400, "bad-request-line",
+                         "request line is not valid HTTP")
     headers: Dict[str, str] = {}
     while True:
         raw = await reader.readline()
@@ -147,9 +186,20 @@ async def _read_request(
             break
         name, _, value = raw.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", "0") or "0")
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _HttpError(400, "bad-content-length",
+                         "Content-Length is not an integer")
+    if length < 0:
+        raise _HttpError(400, "bad-content-length",
+                         "Content-Length is negative")
     if length > _MAX_BODY:
-        raise asyncio.IncompleteReadError(b"", _MAX_BODY)
+        # The body is not read, so the stream cannot be resynced:
+        # answer 413 and close.
+        raise _HttpError(
+            413, "payload-too-large",
+            f"body of {length} bytes exceeds the {_MAX_BODY}-byte limit")
     body = await reader.readexactly(length) if length else b""
     path = target.split("?", 1)[0]
     return method.upper(), path, body

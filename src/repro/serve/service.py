@@ -8,14 +8,22 @@ into JSON-shaped responses with HTTP-style statuses:
 - ``200`` -- the request executed end-to-end through the aggregation
   trees; the body carries the exact aggregate value and the request's
   latency (queueing wait + service time) on the virtual clock;
+- ``206`` -- the aggregate is *partial*: workers behind a network
+  partition were dropped (platform partial delivery) and the response
+  carries a ``completeness`` record alongside the value.  A 206 is
+  only returned when the covered fraction clears the tenant's
+  ``min_completeness`` floor; below the floor the request is a ``503``
+  (``incomplete``) instead -- a too-small answer is no answer;
 - ``429`` -- the per-tenant admission gate refused the request
   (:class:`repro.core.admission.AdmissionNack`: rate-limit or
   queue-depth), before it touched any tree;
-- ``503`` -- the service failed fast: either every agg box's circuit
-  breaker is open, or the request queued longer than
-  ``max_queue_wait`` (front-door load shedding);
-- ``400``/``404``/``500`` -- malformed request, unknown op, or an
-  internal execution error (always a well-formed JSON body).
+- ``503`` -- the service failed fast: every agg box's circuit
+  breaker is open, the request queued longer than ``max_queue_wait``
+  (front-door load shedding), a partition cut off all (or too many)
+  of the request's workers;
+- ``400``/``404``/``413``/``500`` -- malformed request, unknown op,
+  oversized body (the HTTP front-end's frame limit), or an internal
+  execution error (always a well-formed JSON body).
 
 Two request kinds match the paper's served workloads: ``query`` (a
 Solr-style partition/aggregate top-k search) and ``mlgrad`` (one
@@ -47,6 +55,7 @@ from repro.apps.mlgrad import (
 from repro.core.admission import AdmissionNack, AdmissionPolicy
 from repro.core.breaker import BreakerPolicy
 from repro.core.overload import OverloadConfig
+from repro.core.partition import PartitionPolicy, SubtreeUnreachable
 from repro.core.platform import NetAggPlatform
 from repro.faults import (
     FaultSchedule,
@@ -59,6 +68,7 @@ from repro.serve.stats import (
     STATUS_INTERNAL,
     STATUS_NOT_FOUND,
     STATUS_OK,
+    STATUS_PARTIAL,
     STATUS_REJECTED,
     STATUS_UNAVAILABLE,
     ServeReport,
@@ -83,6 +93,9 @@ class TenantPolicy:
     rate: float = 50.0    #: sustained admitted requests per virtual second
     burst: float = 10.0   #: token-bucket burst allowance
     slo: float = 0.25     #: latency SLO (virtual seconds)
+    #: Smallest worker fraction a partial aggregate may cover and still
+    #: be answered (206); below the floor the tenant gets a 503.
+    min_completeness: float = 0.5
 
     def admission(self) -> AdmissionPolicy:
         return AdmissionPolicy(rate=self.rate, burst=self.burst)
@@ -112,6 +125,10 @@ class ServeConfig:
     faults: Optional[FaultSchedule] = None
     #: Shim retry policy override.
     retry: Optional[RetryPolicy] = None
+    #: Partition-tolerance policy (partial delivery, hedging, gray
+    #: avoidance); None keeps the fail-stop baseline, where a
+    #: partitioned worker fails the whole request.
+    partition: Optional[PartitionPolicy] = None
     #: Top-k of query requests.
     k: int = 10
 
@@ -142,9 +159,11 @@ class AggregationService:
         )
         self._platform = NetAggPlatform(
             self._topo,
-            faults=PlatformFaultInjector(config.faults or FaultSchedule()),
+            faults=PlatformFaultInjector(config.faults or FaultSchedule(),
+                                         topo=self._topo),
             retry=config.retry,
             overload=overload,
+            partition=config.partition,
         )
         self._platform.register_app(
             APP_QUERY, TopKFunction(k=config.k),
@@ -296,11 +315,14 @@ class AggregationService:
             # end); the response instant completes the picture for
             # ``repro.obs.analyze.serve`` -- and fires for fail-fast
             # rejections that never open a span.
+            completeness = response.get("completeness") or {}
             tracer.instant(
                 "serve.response", self._platform.clock, layer="serve",
                 tenant=tenant, op=op, request=request_id,
                 status=response["status"],
                 latency=response.get("latency", 0.0),
+                hedges=response.get("hedges", 0),
+                completeness=completeness.get("fraction", 1.0),
             )
         return response
 
@@ -359,6 +381,14 @@ class AggregationService:
             return {**base, "status": STATUS_REJECTED,
                     "error": "admission-nack", "reason": nack.reason,
                     "retry_after": 1.0 / policy.rate}
+        except SubtreeUnreachable as exc:
+            # Before RuntimeError: a partition is unavailability, not
+            # an internal error -- the fail-stop (no-policy) arm and
+            # the nothing-reachable case both land here.
+            return {**base, "status": STATUS_UNAVAILABLE,
+                    "error": "partition", "reason": str(exc),
+                    "missing_workers": list(exc.missing_workers),
+                    "scopes": list(exc.scopes)}
         except (ValueError, KeyError, TypeError) as exc:
             return {**base, "status": STATUS_BAD_REQUEST,
                     "error": "bad-request", "reason": str(exc)}
@@ -366,10 +396,27 @@ class AggregationService:
             return {**base, "status": STATUS_INTERNAL,
                     "error": "internal", "reason": str(exc)}
         latency = self._platform.clock - arrival
-        return {**base, "status": STATUS_OK, "value": value,
-                "latency": latency,
-                "boxes": len(set(outcome.boxes_used)),
-                "retries": len(outcome.events_of_kind("retry"))}
+        response = {**base, "status": STATUS_OK, "value": value,
+                    "latency": latency,
+                    "boxes": len(set(outcome.boxes_used)),
+                    "retries": len(outcome.events_of_kind("retry"))}
+        hedges = len(outcome.events_of_kind("hedge"))
+        if hedges:
+            response["hedges"] = hedges
+        completeness = outcome.completeness
+        if completeness is not None and not completeness.exact:
+            policy = self.config.policy_for(tenant)
+            if completeness.fraction < policy.min_completeness:
+                return {**base, "status": STATUS_UNAVAILABLE,
+                        "error": "incomplete",
+                        "reason": (
+                            f"completeness {completeness.fraction:.2f} "
+                            f"below tenant floor "
+                            f"{policy.min_completeness:g}"),
+                        "completeness": completeness.to_dict()}
+            response["status"] = STATUS_PARTIAL
+            response["completeness"] = completeness.to_dict()
+        return response
 
     def _breakers_refusing(self, now: float) -> bool:
         """True when every deployed box's breaker refuses sends.

@@ -20,8 +20,10 @@ from repro.units import percentile
 
 #: Response statuses the service emits (HTTP-style).
 STATUS_OK = 200
+STATUS_PARTIAL = 206        #: partial aggregate (workers behind a partition)
 STATUS_BAD_REQUEST = 400
 STATUS_NOT_FOUND = 404
+STATUS_PAYLOAD_TOO_LARGE = 413
 STATUS_REJECTED = 429       #: admission NACK (rate-limit / queue-depth)
 STATUS_INTERNAL = 500
 STATUS_UNAVAILABLE = 503    #: breaker-open fail-fast or queue shedding
@@ -36,6 +38,8 @@ class TenantStats:
     requests: int = 0
     ok: int = 0
     ok_within_slo: int = 0
+    partial: int = 0                # 206 (degraded but answered)
+    partial_within_slo: int = 0
     rejected_admission: int = 0     # 429
     rejected_unavailable: int = 0   # 503
     errors: int = 0                 # 500
@@ -45,12 +49,20 @@ class TenantStats:
     def record(self, status: int, latency: float = 0.0,
                wait: float = 0.0) -> None:
         self.requests += 1
-        if status == STATUS_OK:
-            self.ok += 1
+        if status in (STATUS_OK, STATUS_PARTIAL):
+            # A 206 is an *answered* request (the tenant accepted the
+            # completeness), so it shares the latency ledger; the
+            # partial counters keep the degradation visible.
+            if status == STATUS_OK:
+                self.ok += 1
+                if latency <= self.slo:
+                    self.ok_within_slo += 1
+            else:
+                self.partial += 1
+                if latency <= self.slo:
+                    self.partial_within_slo += 1
             self.latencies.append(latency)
             self.waits.append(wait)
-            if latency <= self.slo:
-                self.ok_within_slo += 1
         elif status == STATUS_REJECTED:
             self.rejected_admission += 1
         elif status == STATUS_UNAVAILABLE:
@@ -65,12 +77,15 @@ class TenantStats:
         return percentile(self.latencies, 99.0) if self.latencies else 0.0
 
     def attainment(self) -> float:
-        """Fraction of *offered* requests answered within the SLO."""
-        return self.ok_within_slo / self.requests if self.requests else 0.0
+        """Fraction of *offered* requests answered within the SLO
+        (exact and accepted-partial responses both count)."""
+        answered = self.ok_within_slo + self.partial_within_slo
+        return answered / self.requests if self.requests else 0.0
 
     def goodput(self, duration: float) -> float:
         """Requests per second answered within the SLO."""
-        return self.ok_within_slo / duration if duration > 0 else 0.0
+        answered = self.ok_within_slo + self.partial_within_slo
+        return answered / duration if duration > 0 else 0.0
 
 
 class ServeReport:
@@ -99,7 +114,8 @@ class ServeReport:
         return sum(t.requests for t in self.tenants.values())
 
     def total_ok_within_slo(self) -> int:
-        return sum(t.ok_within_slo for t in self.tenants.values())
+        return sum(t.ok_within_slo + t.partial_within_slo
+                   for t in self.tenants.values())
 
     def aggregate_goodput(self) -> float:
         return (self.total_ok_within_slo() / self.duration
@@ -110,19 +126,23 @@ class ServeReport:
         problems: List[str] = []
         for tenant in sorted(self.tenants):
             t = self.tenants[tenant]
-            parts = (t.ok + t.rejected_admission
+            parts = (t.ok + t.partial + t.rejected_admission
                      + t.rejected_unavailable + t.errors)
             if parts != t.requests:
                 problems.append(
                     f"{tenant}: {t.requests} requests != {parts} "
                     "accounted outcomes")
-            if len(t.latencies) != t.ok:
+            if len(t.latencies) != t.ok + t.partial:
                 problems.append(
                     f"{tenant}: {len(t.latencies)} latencies for "
-                    f"{t.ok} ok responses")
+                    f"{t.ok + t.partial} answered responses")
             if t.ok_within_slo > t.ok:
                 problems.append(
                     f"{tenant}: {t.ok_within_slo} within-SLO > {t.ok} ok")
+            if t.partial_within_slo > t.partial:
+                problems.append(
+                    f"{tenant}: {t.partial_within_slo} within-SLO > "
+                    f"{t.partial} partial")
             if any(l < 0 for l in t.latencies) \
                     or any(w < 0 for w in t.waits):
                 problems.append(f"{tenant}: negative latency or wait")
@@ -142,8 +162,9 @@ class ServeReport:
         result = ExperimentResult(
             experiment="serve",
             description=description or "per-tenant serving report",
-            columns=("tenant", "requests", "ok", "r429", "r503", "err",
-                     "goodput_rps", "p50", "p99", "slo_attainment"),
+            columns=("tenant", "requests", "ok", "r206", "r429", "r503",
+                     "err", "goodput_rps", "p50", "p99",
+                     "slo_attainment"),
             notes=notes or (
                 f"slo={self.slo:g}s over {self.duration:g}s; goodput = "
                 "within-SLO responses / duration; attainment = "
@@ -154,7 +175,8 @@ class ServeReport:
         for t in ordered:
             result.add_row(
                 tenant=t.tenant, requests=t.requests, ok=t.ok,
-                r429=t.rejected_admission, r503=t.rejected_unavailable,
+                r206=t.partial, r429=t.rejected_admission,
+                r503=t.rejected_unavailable,
                 err=t.errors, goodput_rps=t.goodput(self.duration),
                 p50=t.p50(), p99=t.p99(),
                 slo_attainment=t.attainment(),
@@ -164,6 +186,7 @@ class ServeReport:
             tenant="ALL",
             requests=self.total_requests(),
             ok=sum(t.ok for t in ordered),
+            r206=sum(t.partial for t in ordered),
             r429=sum(t.rejected_admission for t in ordered),
             r503=sum(t.rejected_unavailable for t in ordered),
             err=sum(t.errors for t in ordered),

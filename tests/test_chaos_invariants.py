@@ -14,7 +14,13 @@ promises (the correctness backstop the scenario-based fault tests lack):
 - **legal state machines** -- recorded box-health and circuit-breaker
   traces are contiguous and only take edges the machines define;
 - **determinism** -- a fixed seed reproduces bit-identical shim-event,
-  health and breaker logs.
+  health and breaker logs;
+- **honest completeness** -- under network partitions a partial
+  aggregate is never mislabelled exact: the completeness record's
+  missing-worker set equals the ground-truth set of workers the
+  partition scopes actually cut off, completeness is monotone in the
+  surviving workers, and once every window heals requests are exact
+  again.
 
 Example counts default to 200 per layer (the acceptance bar) and can be
 lowered for smoke runs via ``CHAOS_EXAMPLES``.  ``derandomize=True``
@@ -50,13 +56,18 @@ from repro.core import (
 from repro.core.admission import NACK_REASONS
 from repro.core.breaker import assert_legal_breaker_transitions
 from repro.core.failure import rewire_failed_box
+from repro.core.partition import PartitionPolicy, SubtreeUnreachable
 from repro.core.recovery import InFlightRequest, MigrationAborted
 from repro.core.tree import TreeBuilder
 from repro.faults import (
+    NET_PARTITION,
     EmulatorFaultInjector,
+    FaultEvent,
     FaultSchedule,
     PlatformFaultInjector,
     SimFaultInjector,
+    in_scope,
+    topology_domains,
 )
 from repro.netsim.engine import EventQueue
 from repro.netsim.simulator import FlowSim
@@ -582,3 +593,140 @@ class TestMigrationChaos:
         for index in (1, 2, 3):
             request.deliver_worker(index)
         assert request.finish() == pytest.approx(sum(values))
+
+
+# ---------------------------------------------------------------------------
+# Layer 6: network partitions, partial delivery and completeness labels
+
+#: Every partition scope the shared topology defines (pods + racks).
+PARTITION_SCOPES = sorted(topology_domains(TOPO))
+
+
+def host(h):
+    return f"host:{h}"
+
+
+def ground_truth_excluded(master, workers, scopes):
+    """Worker indices the scopes cut off the master, by definition.
+
+    A scope separates two endpoints when exactly one of them is inside
+    it -- computed here straight from :func:`repro.faults.in_scope`,
+    independently of the platform's delivery path.
+    """
+    return {
+        i for i, w in enumerate(workers)
+        if any(in_scope(TOPO, host(w), s) != in_scope(TOPO, host(master), s)
+               for s in scopes)
+    }
+
+
+def partition_platform(scopes, duration):
+    schedule = FaultSchedule([
+        FaultEvent(time=0.5, kind=NET_PARTITION, target=scope,
+                   duration=duration)
+        for scope in scopes
+    ])
+    platform = NetAggPlatform(
+        TOPO, faults=PlatformFaultInjector(schedule, topo=TOPO),
+        partition=PartitionPolicy())
+    platform.register_app("sum", SumFunction(), write_float,
+                          lambda b: read_float(b)[0])
+    return platform
+
+
+def completeness_fraction(platform, request_id, master, partials):
+    """Run one request; an all-workers-cut refusal counts as 0.0."""
+    try:
+        outcome = platform.execute_request(
+            "sum", request_id, host(master), partials)
+    except SubtreeUnreachable:
+        return 0.0
+    return outcome.completeness.fraction
+
+
+@st.composite
+def partition_scenario(draw):
+    hosts = draw(st.lists(st.integers(0, N_HOSTS - 1), min_size=4,
+                          max_size=6, unique=True))
+    master, workers = hosts[0], hosts[1:]
+    values = [float(v) for v in draw(st.lists(
+        st.integers(1, 100), min_size=len(workers),
+        max_size=len(workers)))]
+    scopes = draw(st.lists(st.sampled_from(PARTITION_SCOPES),
+                           min_size=1, max_size=2, unique=True))
+    permanent = draw(st.booleans())
+    return master, workers, values, scopes, permanent
+
+
+class TestPartitionChaos:
+    @given(scenario=partition_scenario())
+    @CHAOS
+    def test_completeness_labels_never_lie(self, scenario):
+        master, workers, values, scopes, permanent = scenario
+        excluded = ground_truth_excluded(master, workers, scopes)
+        platform = partition_platform(
+            scopes, duration=0.0 if permanent else 10.0)
+        platform.advance_clock(1.0)  # inside every window
+        partials = [(host(w), v) for w, v in zip(workers, values)]
+        try:
+            outcome = platform.execute_request(
+                "sum", "r0", host(master), partials)
+        except SubtreeUnreachable as refusal:
+            # Only a request with nothing reachable may be refused,
+            # and the refusal names exactly the ground-truth set.
+            assert excluded == set(range(len(workers)))
+            assert set(refusal.missing_workers) == excluded
+            return
+        comp = outcome.completeness
+        assert comp is not None
+        # The label matches the ground truth: exact iff nothing was
+        # cut off, and the missing set is neither padded nor trimmed.
+        assert set(comp.missing_workers) == excluded
+        assert comp.exact == (not excluded)
+        assert comp.workers_total == len(workers)
+        assert comp.workers_included == len(workers) - len(excluded)
+        # Exactness over the included workers: nothing lost, nothing
+        # double-counted, no silent substitution for the missing.
+        included_sum = sum(v for i, v in enumerate(values)
+                           if i not in excluded)
+        assert outcome.value == included_sum
+        assert len(outcome.events_of_kind("partition")) == len(excluded)
+
+    @given(scenario=partition_scenario())
+    @CHAOS
+    def test_completeness_monotone_in_surviving_workers(self, scenario):
+        master, workers, values, scopes, permanent = scenario
+        if len(scopes) < 2:
+            extra = next(s for s in PARTITION_SCOPES if s not in scopes)
+            scopes = scopes + [extra]
+        partials = [(host(w), v) for w, v in zip(workers, values)]
+        fractions = []
+        for cut in (scopes[:1], scopes):  # widening cuts
+            platform = partition_platform(
+                cut, duration=0.0 if permanent else 10.0)
+            platform.advance_clock(1.0)
+            fractions.append(completeness_fraction(
+                platform, "r0", master, partials))
+        # Cutting more scopes can only shrink the surviving-worker
+        # set, so completeness must not increase.
+        assert fractions[1] <= fractions[0] + 1e-12
+
+    @given(scenario=partition_scenario())
+    @CHAOS
+    def test_post_heal_requests_are_exact(self, scenario):
+        master, workers, values, scopes, _ = scenario
+        platform = partition_platform(scopes, duration=1.0)
+        partials = [(host(w), v) for w, v in zip(workers, values)]
+        platform.advance_clock(1.0)
+        try:
+            platform.execute_request("sum", "r0", host(master), partials)
+        except SubtreeUnreachable:
+            pass  # everything cut during the window -- legal
+        # Far beyond every window (probe retries burn bounded clock).
+        platform.advance_clock(60.0)
+        outcome = platform.execute_request(
+            "sum", "r1", host(master), partials)
+        assert outcome.completeness is not None
+        assert outcome.completeness.exact
+        assert outcome.value == sum(values)
+        assert not outcome.events_of_kind("partition")

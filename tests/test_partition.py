@@ -1,0 +1,575 @@
+"""Tests for the partition-tolerance plane (PR 8).
+
+Covers the pieces end-to-end, each label checked against ground truth:
+
+- schedule coherence: ``FaultSchedule.validate`` rejects incoherent
+  timelines and names the offending events;
+- fault domains: rack/pod derivation, scope membership, and the
+  expansion of ``domain-fail``/``net-partition`` markers into
+  correlated member events;
+- gray detection: the seeded-EWMA latency-outlier detector flags
+  without poisoning its baseline, and the platform hedges deliveries
+  into gray boxes against the deadline;
+- partial delivery: the platform completes around unreachable
+  subtrees, the completeness record matches the centralised ground
+  truth exactly, the fail-stop baseline raises instead;
+- serving: 206 bodies with completeness, the ``min_completeness``
+  floor, 503 partition mapping, and frame-level HTTP robustness
+  (garbled request line -> 400, oversized body -> 413 -- well-formed
+  JSON, never a dropped connection).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.aggbox.functions import SumFunction
+from repro.aggbox.overload import GRAY
+from repro.aggregation import deploy_boxes
+from repro.core import NetAggPlatform
+from repro.core.partition import (
+    Completeness,
+    GrayDetector,
+    GrayPolicy,
+    PartitionPolicy,
+    SubtreeUnreachable,
+)
+from repro.faults import (
+    BOX_CRASH,
+    BOX_GRAY,
+    BOX_RECOVER,
+    DOMAIN_FAIL,
+    LINK_DOWN,
+    LINK_UP,
+    NET_PARTITION,
+    FaultEvent,
+    FaultSchedule,
+    PlatformFaultInjector,
+    in_scope,
+    pod_domain_name,
+    rack_domain_name,
+    topology_domains,
+)
+from repro.serve import (
+    AggregationService,
+    HttpFrontend,
+    ServeConfig,
+    TenantPolicy,
+)
+from repro.topology import ThreeTierParams, three_tier
+from repro.topology.base import TOR
+from repro.wire.serializer import read_float, write_float
+from repro.workload.openloop import OP_MLGRAD, pick_endpoints
+
+SMALL = ThreeTierParams(
+    n_pods=2, tors_per_pod=2, aggrs_per_pod=2, n_cores=2, hosts_per_tor=2
+)
+
+
+def small_topo():
+    topo = three_tier(SMALL)
+    deploy_boxes(topo)
+    return topo
+
+
+def sum_platform(topo, schedule, policy):
+    platform = NetAggPlatform(
+        topo, faults=PlatformFaultInjector(schedule, topo=topo),
+        partition=policy)
+    platform.register_app("sum", SumFunction(), write_float,
+                          lambda b: read_float(b)[0])
+    return platform
+
+
+def pod_partition(duration=0.0, pod=1):
+    return FaultSchedule([
+        FaultEvent(time=0.5, kind=NET_PARTITION,
+                   target=pod_domain_name(pod), duration=duration),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Schedule coherence
+
+
+class TestScheduleValidate:
+    def test_constructor_validates_by_default(self):
+        with pytest.raises(ValueError, match="incoherent fault schedule"):
+            FaultSchedule([
+                FaultEvent(time=1.0, kind=BOX_RECOVER, target="box:a"),
+            ])
+
+    def test_recover_before_crash_rejected(self):
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=BOX_RECOVER, target="box:tor:0:0"),
+        ], validate=False)
+        with pytest.raises(ValueError, match=r"box-recover@1->box:tor:0:0"):
+            schedule.validate()
+
+    def test_overlapping_crash_windows_rejected(self):
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=BOX_CRASH, target="box:tor:0:0",
+                       duration=0.0),
+            FaultEvent(time=2.0, kind=BOX_CRASH, target="box:tor:0:0",
+                       duration=0.0),
+        ], validate=False)
+        with pytest.raises(ValueError, match="still crashed"):
+            schedule.validate()
+
+    def test_double_link_down_rejected(self):
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=LINK_DOWN, target="a->b"),
+            FaultEvent(time=2.0, kind=LINK_DOWN, target="a->b"),
+        ], validate=False)
+        with pytest.raises(ValueError, match="already down"):
+            schedule.validate()
+
+    def test_overlapping_domain_windows_rejected(self):
+        # duration=0 is permanent, so any later window on the same
+        # domain overlaps it.
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=NET_PARTITION, target="pod:1",
+                       duration=0.0),
+            FaultEvent(time=5.0, kind=NET_PARTITION, target="pod:1",
+                       duration=1.0),
+        ], validate=False)
+        with pytest.raises(ValueError, match="pod:1"):
+            schedule.validate()
+
+    def test_coherent_timeline_returns_self(self):
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=BOX_CRASH, target="box:tor:0:0"),
+            FaultEvent(time=2.0, kind=BOX_RECOVER, target="box:tor:0:0"),
+            FaultEvent(time=2.0, kind=BOX_CRASH, target="box:tor:0:0"),
+            FaultEvent(time=3.0, kind=BOX_RECOVER, target="box:tor:0:0"),
+            FaultEvent(time=1.0, kind=LINK_DOWN, target="a->b"),
+            FaultEvent(time=2.0, kind=LINK_UP, target="a->b"),
+            FaultEvent(time=1.0, kind=NET_PARTITION, target="pod:1",
+                       duration=1.0),
+            FaultEvent(time=2.0, kind=NET_PARTITION, target="pod:1",
+                       duration=1.0),
+        ])
+        assert schedule.validate() is schedule
+
+    def test_all_violations_listed(self):
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=BOX_RECOVER, target="box:a"),
+            FaultEvent(time=1.0, kind=LINK_DOWN, target="a->b"),
+            FaultEvent(time=2.0, kind=LINK_DOWN, target="a->b"),
+        ], validate=False)
+        with pytest.raises(ValueError) as exc:
+            schedule.validate()
+        message = str(exc.value)
+        assert "box-recover@1->box:a" in message
+        assert "link-down@2->a->b" in message
+
+
+# ---------------------------------------------------------------------------
+# Fault domains
+
+
+class TestFaultDomains:
+    def test_pod_domains_cover_pod_members(self):
+        topo = small_topo()
+        domains = topology_domains(topo)
+        pod0 = domains[pod_domain_name(0)]
+        assert set(pod0.hosts) == {
+            h for h in topo.hosts() if topo.pod_of(h) == 0}
+        assert all(topo.pod_of(b) == 0 for b in pod0.boxes)
+        assert pod0.links  # aggr<->core border links
+
+    def test_rack_domains_cover_rack_members(self):
+        topo = small_topo()
+        domains = topology_domains(topo)
+        tor = sorted(topo.switches(TOR))[0]
+        rack = domains[rack_domain_name(tor)]
+        assert set(rack.hosts) == {
+            h for h in topo.hosts() if topo.tor_of(h) == tor}
+        assert set(rack.boxes) == {
+            b.box_id for b in topo.boxes_at(tor)}
+        assert rack.links  # tor<->aggr uplinks
+
+    def test_domains_deterministic(self):
+        topo = small_topo()
+        assert topology_domains(topo) == topology_domains(topo)
+
+    def test_in_scope_membership(self):
+        topo = small_topo()
+        host0 = sorted(topo.hosts())[0]
+        assert in_scope(topo, host0, pod_domain_name(topo.pod_of(host0)))
+        assert not in_scope(topo, host0, pod_domain_name(9))
+        tor = topo.tor_of(host0)
+        assert in_scope(topo, host0, rack_domain_name(tor))
+        assert in_scope(topo, tor, rack_domain_name(tor))
+        # Unknown nodes are outside every scope.
+        assert not in_scope(topo, "host:999", pod_domain_name(0))
+        assert not in_scope(topo, "nonsense", rack_domain_name(tor))
+
+
+class TestDomainExpansion:
+    def test_domain_fail_expands_to_member_crashes(self):
+        topo = small_topo()
+        domains = topology_domains(topo)
+        tor = sorted(topo.switches(TOR))[0]
+        rack = domains[rack_domain_name(tor)]
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=DOMAIN_FAIL, target=rack.name,
+                       duration=2.0),
+        ]).expanded(domains)
+        crashes = {e.target for e in schedule.events
+                   if e.kind == BOX_CRASH}
+        recovers = {e.target for e in schedule.events
+                    if e.kind == BOX_RECOVER and e.time == 3.0}
+        assert crashes == set(rack.boxes)
+        assert recovers == set(rack.boxes)
+        downs = {e.target for e in schedule.events if e.kind == LINK_DOWN}
+        assert downs == set(rack.links)
+
+    def test_net_partition_cuts_links_only(self):
+        topo = small_topo()
+        domains = topology_domains(topo)
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=NET_PARTITION, target="pod:1",
+                       duration=0.0),
+        ]).expanded(domains)
+        assert not [e for e in schedule.events if e.kind == BOX_CRASH]
+        downs = [e for e in schedule.events if e.kind == LINK_DOWN]
+        assert {e.target for e in downs} == set(domains["pod:1"].links)
+        # duration=0 is permanent: no matching link-up events.
+        assert not [e for e in schedule.events if e.kind == LINK_UP]
+        # The marker itself is retained for partition-aware consumers.
+        assert schedule.partitions_at(2.0) == ["pod:1"]
+
+    def test_unknown_domain_rejected_with_catalogue(self):
+        topo = small_topo()
+        schedule = FaultSchedule([
+            FaultEvent(time=1.0, kind=NET_PARTITION, target="pod:99"),
+        ])
+        with pytest.raises(ValueError, match="unknown fault domain"):
+            schedule.expanded(topology_domains(topo))
+
+
+# ---------------------------------------------------------------------------
+# Gray detection
+
+
+class TestGrayDetector:
+    def test_seeded_outlier_flags_immediately(self):
+        detector = GrayDetector(GrayPolicy(threshold=4.0), baseline=0.001)
+        assert detector.observe("box:a", 0.01, at=0.0)
+        assert detector.is_gray("box:a")
+        assert detector.gray_boxes() == ["box:a"]
+
+    def test_outliers_do_not_poison_the_baseline(self):
+        detector = GrayDetector(GrayPolicy(threshold=4.0), baseline=0.001)
+        for t in range(5):
+            detector.observe("box:a", 0.5, at=float(t))
+        # Five huge samples later the baseline is still the seed: a
+        # gray box cannot talk the detector into calling it normal.
+        assert detector.baseline_of("box:a") == pytest.approx(0.001)
+        assert detector.is_gray("box:a")
+
+    def test_healthy_sample_clears_the_flag(self):
+        detector = GrayDetector(GrayPolicy(threshold=4.0), baseline=0.001)
+        detector.observe("box:a", 0.01, at=0.0)
+        assert detector.is_gray("box:a")
+        assert not detector.observe("box:a", 0.001, at=1.0)
+        assert not detector.is_gray("box:a")
+
+    def test_unseeded_first_sample_becomes_baseline(self):
+        detector = GrayDetector(GrayPolicy(threshold=4.0))
+        assert not detector.observe("box:a", 0.4, at=0.0)
+        assert detector.baseline_of("box:a") == pytest.approx(0.4)
+        # Relative to its own (slow) baseline nothing is an outlier.
+        assert not detector.observe("box:a", 0.4, at=1.0)
+        assert not detector.is_gray("box:a")
+
+
+class TestCompleteness:
+    def test_exact_for(self):
+        comp = Completeness.exact_for(8)
+        assert comp.exact and comp.fraction == 1.0
+        assert comp.missing_workers == ()
+
+    def test_fraction_and_exact(self):
+        comp = Completeness(workers_total=4, workers_included=3,
+                            missing_workers=(2,),
+                            missing_scopes=("pod:1",))
+        assert not comp.exact
+        assert comp.fraction == pytest.approx(0.75)
+        body = comp.to_dict()
+        assert body["missing_workers"] == [2]
+        assert body["missing_scopes"] == ["pod:1"]
+
+    def test_merged_unions_missing_workers(self):
+        parts = [
+            Completeness(4, 3, (1,), ("pod:1",)),
+            Completeness(4, 3, (2,), ("rack:tor:1:0",)),
+        ]
+        merged = Completeness.merged(parts)
+        assert merged.workers_total == 4
+        assert merged.missing_workers == (1, 2)
+        assert merged.workers_included == 2
+        assert set(merged.missing_scopes) == {"pod:1", "rack:tor:1:0"}
+
+    def test_incoherent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Completeness(workers_total=2, workers_included=3)
+
+
+# ---------------------------------------------------------------------------
+# Platform partial delivery
+
+
+class TestPartialDelivery:
+    def _workers(self, topo):
+        """Worker hosts split across both pods, with known values."""
+        hosts = sorted(topo.hosts(),
+                       key=lambda h: (topo.pod_of(h), h))
+        pod0 = [h for h in hosts if topo.pod_of(h) == 0]
+        pod1 = [h for h in hosts if topo.pod_of(h) == 1]
+        workers = pod0[1:3] + pod1[:2]          # indices 0,1 / 2,3
+        values = [1.0, 2.0, 4.0, 8.0]
+        return pod0[0], list(zip(workers, values))
+
+    def test_partial_value_is_exact_over_included_workers(self):
+        topo = small_topo()
+        master, partials = self._workers(topo)
+        platform = sum_platform(topo, pod_partition(), PartitionPolicy())
+        platform.advance_clock(1.0)
+        outcome = platform.execute_request("sum", "r1", master, partials)
+        # Ground truth: the pod-0 workers only, nothing double-counted.
+        assert outcome.value == pytest.approx(1.0 + 2.0)
+        comp = outcome.completeness
+        assert comp is not None and not comp.exact
+        assert comp.workers_total == 4
+        assert comp.workers_included == 2
+        assert comp.missing_workers == (2, 3)
+        assert comp.missing_scopes == ("pod:1",)
+        assert comp.fraction == pytest.approx(0.5)
+        cut = outcome.events_of_kind("partition")
+        assert len(cut) == 2
+
+    def test_fail_stop_baseline_raises(self):
+        topo = small_topo()
+        master, partials = self._workers(topo)
+        platform = sum_platform(topo, pod_partition(), policy=None)
+        platform.advance_clock(1.0)
+        with pytest.raises(SubtreeUnreachable) as exc:
+            platform.execute_request("sum", "r1", master, partials)
+        assert exc.value.missing_workers == (2, 3)
+        assert exc.value.scopes == ("pod:1",)
+
+    def test_no_reachable_workers_always_raises(self):
+        topo = small_topo()
+        hosts = sorted(topo.hosts(), key=lambda h: (topo.pod_of(h), h))
+        master = [h for h in hosts if topo.pod_of(h) == 0][0]
+        partials = [(h, 1.0) for h in hosts if topo.pod_of(h) == 1][:3]
+        platform = sum_platform(topo, pod_partition(), PartitionPolicy())
+        platform.advance_clock(1.0)
+        # An answer covering zero workers is no answer, policy or not.
+        with pytest.raises(SubtreeUnreachable):
+            platform.execute_request("sum", "r1", master, partials)
+
+    def test_post_heal_requests_are_exact_again(self):
+        topo = small_topo()
+        master, partials = self._workers(topo)
+        platform = sum_platform(topo, pod_partition(duration=1.0),
+                                PartitionPolicy())
+        platform.advance_clock(1.0)
+        inside = platform.execute_request("sum", "r1", master, partials)
+        assert not inside.completeness.exact
+        platform.advance_clock(30.0)
+        healed = platform.execute_request("sum", "r2", master, partials)
+        assert healed.completeness.exact
+        assert healed.value == pytest.approx(sum(v for _, v in partials))
+        assert not healed.events_of_kind("partition")
+
+
+class TestGrayHedging:
+    def _gray_everything(self, topo, severity=400.0):
+        return FaultSchedule([
+            FaultEvent(time=0.5, kind=BOX_GRAY, target=info.box_id,
+                       duration=1e9, severity=severity)
+            for info in topo.all_boxes()
+        ])
+
+    def _run(self, policy):
+        topo = small_topo()
+        schedule = self._gray_everything(topo)
+        platform = sum_platform(topo, schedule, policy)
+        hosts = sorted(topo.hosts(), key=lambda h: (topo.pod_of(h), h))
+        partials = [(h, 1.0) for h in hosts[1:5]]
+        platform.advance_clock(1.0)
+        start = platform.clock
+        outcome = platform.execute_request("sum", "r1", hosts[0],
+                                           partials)
+        return platform, outcome, platform.clock - start
+
+    def test_hedging_caps_gray_latency(self):
+        _, slow, slow_latency = self._run(policy=None)
+        platform, hedged, hedged_latency = self._run(PartitionPolicy())
+        # Exactness is never traded away -- only latency.
+        assert slow.value == hedged.value == pytest.approx(4.0)
+        assert hedged.events_of_kind("hedge")
+        assert not slow.events_of_kind("hedge")
+        assert hedged_latency < slow_latency
+
+    def test_detector_flags_and_health_report_shows_gray(self):
+        platform, _, _ = self._run(PartitionPolicy())
+        flagged = platform.gray_detector.gray_boxes()
+        assert flagged
+        report = platform.health_report()
+        assert any(report[b].state == GRAY for b in flagged)
+
+
+# ---------------------------------------------------------------------------
+# Serving: 206 bodies, the completeness floor, partition 503s
+
+SERVE_WORKERS = 4
+
+
+def serve_request(tenant="t1", rid="r1", seed=0):
+    # Four explicit gradients: row i lands on sorted-host i (the
+    # service maps explicit payload rows to hosts by index), so with
+    # the rack of rows 2-3 cut exactly those rows drop out.
+    return {"op": OP_MLGRAD, "tenant": tenant, "id": rid,
+            "payload_seed": seed,
+            "gradients": [[1.0, float(i)] for i in range(SERVE_WORKERS)]}
+
+
+class ServeScenario:
+    """One rack cut, coordinator outside both the rack and the rows."""
+
+    def __init__(self):
+        self.topo = small_topo()
+        self.hosts = sorted(self.topo.hosts())
+        # Cut the rack of row 2's host (the second pod-0 rack).
+        self.tor = self.topo.tor_of(self.hosts[2])
+        self.scope = rack_domain_name(self.tor)
+        self.missing = [i for i in range(SERVE_WORKERS)
+                        if self.topo.tor_of(self.hosts[i]) == self.tor]
+        self.included = [i for i in range(SERVE_WORKERS)
+                         if i not in self.missing]
+        assert self.missing and self.included
+        self.seed = self._coordinator_seed()
+
+    def _coordinator_seed(self):
+        """A payload seed whose coordinator is a pod-1 host.
+
+        Pod-1 hosts are outside the cut rack (same side as the other
+        pod-0 rack via the core) and not among the explicit payload
+        rows, so the request is legal and partially deliverable.
+        """
+        for seed in range(1, 500):
+            master, _ = pick_endpoints(self.hosts, seed, 8)
+            if self.topo.pod_of(master) == 1:
+                return seed
+        raise AssertionError("no pod-1 coordinator seed found")
+
+    def schedule(self):
+        return FaultSchedule([
+            FaultEvent(time=0.5, kind=NET_PARTITION, target=self.scope,
+                       duration=0.0),
+        ])
+
+    def service(self, policy, **config):
+        return AggregationService(ServeConfig(
+            topo=SMALL, admission=False, faults=self.schedule(),
+            partition=policy, **config))
+
+
+class TestServePartialResponses:
+    def test_206_carries_exact_completeness(self):
+        scenario = ServeScenario()
+        service = scenario.service(PartitionPolicy())
+        service.platform.advance_clock(1.0)
+        response = service.handle(serve_request(seed=scenario.seed))
+        assert response["status"] == 206
+        assert response["value"] == pytest.approx(
+            [float(len(scenario.included)),
+             float(sum(scenario.included))])
+        comp = response["completeness"]
+        assert comp["exact"] is False
+        assert comp["missing_workers"] == scenario.missing
+        assert comp["missing_scopes"] == [scenario.scope]
+        assert comp["fraction"] == pytest.approx(
+            len(scenario.included) / SERVE_WORKERS)
+
+    def test_completeness_floor_maps_to_503(self):
+        scenario = ServeScenario()
+        service = scenario.service(
+            PartitionPolicy(),
+            tenants={"picky": TenantPolicy(min_completeness=0.9)})
+        service.platform.advance_clock(1.0)
+        response = service.handle(
+            serve_request(tenant="picky", seed=scenario.seed))
+        assert response["status"] == 503
+        assert response["error"] == "incomplete"
+        assert response["completeness"]["fraction"] < 0.9
+
+    def test_fail_stop_arm_maps_to_503_partition(self):
+        scenario = ServeScenario()
+        service = scenario.service(policy=None)
+        service.platform.advance_clock(1.0)
+        response = service.handle(serve_request(seed=scenario.seed))
+        assert response["status"] == 503
+        assert response["error"] == "partition"
+        assert response["missing_workers"] == scenario.missing
+        assert response["scopes"] == [scenario.scope]
+
+    def test_stats_count_partials_and_stay_coherent(self):
+        scenario = ServeScenario()
+        service = scenario.service(PartitionPolicy())
+        service.platform.advance_clock(1.0)
+        response = service.handle(serve_request(seed=scenario.seed))
+        assert response["status"] == 206
+        stats = service.report.stats("t1")
+        assert stats.partial == 1
+        assert service.report.accounting_errors() == []
+
+
+class TestHttpFrameRobustness:
+    def _raw_exchange(self, raw):
+        async def scenario():
+            frontend = HttpFrontend(AggregationService())
+            host, port = await frontend.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(raw)
+            await writer.drain()
+            status_line = await reader.readline()
+            while (await reader.readline()) not in (b"\r\n", b""):
+                pass
+            payload = json.loads(await reader.read(65536))
+            writer.close()
+            await frontend.stop()
+            return status_line, payload
+
+        return asyncio.run(scenario())
+
+    def test_garbled_request_line_is_a_400(self):
+        status_line, payload = self._raw_exchange(b"\xff\xfe garbage\r\n\r\n")
+        assert b"400" in status_line
+        assert payload["status"] == 400
+        assert payload["error"] == "bad-request-line"
+
+    def test_non_integer_content_length_is_a_400(self):
+        status_line, payload = self._raw_exchange(
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert b"400" in status_line
+        assert payload["error"] == "bad-content-length"
+
+    def test_negative_content_length_is_a_400(self):
+        status_line, payload = self._raw_exchange(
+            b"POST /v1/query HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+        assert b"400" in status_line
+        assert payload["error"] == "bad-content-length"
+
+    def test_oversized_body_is_a_413(self):
+        status_line, payload = self._raw_exchange(
+            b"POST /v1/query HTTP/1.1\r\n"
+            b"Content-Length: 10485760\r\n\r\n")
+        assert b"413" in status_line
+        assert payload["status"] == 413
+        assert payload["error"] == "payload-too-large"
