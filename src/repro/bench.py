@@ -66,6 +66,10 @@ SCALES: Dict[str, SimScale] = {
 #: The acceptance bar for the solver rework is >= 3x over this.
 BASELINE = {"fig06_default_seconds": 9.157, "commit": "1b25238"}
 
+#: Smallest elapsed time treated as real (one microsecond); quicker
+#: runs are clock-resolution artefacts, not measurements.
+_TIMER_FLOOR = 1e-6
+
 
 def _peak_rss_kb() -> int:
     """Process peak RSS, normalised to KB.
@@ -122,8 +126,11 @@ def time_experiment(name: str, scale: SimScale, seed: int = 1,
             seconds=round(elapsed, 4),
             rows=len(result.rows),
             events=events,
-            events_per_sec=round(events / elapsed, 1)
-            if elapsed > 0 else 0.0,
+            # Sub-resolution timings floor at the timer tick rather
+            # than reporting a bogus 0.0 rate (which would read as
+            # "infinitely slow" and poison rate comparisons).
+            events_per_sec=round(events / max(elapsed, _TIMER_FLOOR), 1),
+            epochs=counters.get("netsim.epochs", 0),
             solver_calls=counters.get("netsim.solver.solves", 0),
             solver_cache_hits=counters.get("netsim.solver.cache_hits", 0),
             flows_resolved=counters.get("netsim.solver.flows_resolved", 0),
@@ -139,12 +146,19 @@ def time_experiment(name: str, scale: SimScale, seed: int = 1,
     return record
 
 
-def _time_fig06_default(seed: int = 1) -> float:
-    """The acceptance metric: fig06 wall time at DEFAULT scale."""
+def _time_fig06_default(seed: int = 1, repeat: int = 1) -> float:
+    """The acceptance metric: fig06 wall time at DEFAULT scale.
+
+    Best-of-``repeat``: the first run pays cold-start costs (imports,
+    allocator warm-up) that are not the solver's.
+    """
     exp = load("fig06_fct_cdf")
-    started = time.perf_counter()
-    exp.run(scale=DEFAULT, seed=seed)
-    return time.perf_counter() - started
+    best = float("inf")
+    for _ in range(max(repeat, 1)):
+        started = time.perf_counter()
+        exp.run(scale=DEFAULT, seed=seed)
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def _profile_experiment(name: str, scale: SimScale, out: str,
@@ -162,7 +176,7 @@ def _profile_experiment(name: str, scale: SimScale, out: str,
 
 
 #: Counter fields compared deterministically by the regression gate.
-GATED_COUNTERS = ("events", "solver_calls", "flows_resolved")
+GATED_COUNTERS = ("events", "epochs", "solver_calls", "flows_resolved")
 
 #: Default per-experiment regression tolerance (15%).
 DEFAULT_MAX_REGRESS = 0.15
@@ -222,8 +236,12 @@ def compare_payloads(current: Dict[str, object],
     if not pairs and not regressions:
         regressions.append("no experiments in common with the baseline")
 
+    # Zero-duration rows (sub-tick runs) carry no timing signal: a 0.0
+    # on either side would register as an infinite or zero ratio and
+    # drag the machine-speed median; such rows gate on counters only.
     ratios = [cur["seconds"] / base["seconds"]
-              for _, base, cur in pairs if base["seconds"] > 0]
+              for _, base, cur in pairs
+              if base["seconds"] > 0 and cur["seconds"] > 0]
     median_ratio = _median(ratios) if ratios else 1.0
 
     rows = []
@@ -324,6 +342,10 @@ def run_compare(baseline_path: str,
                                             rerun["seconds"])
         report = compare_payloads(current, baseline,
                                   max_regress=max_regress)
+    # The headline acceptance metric rides along on every compare, so
+    # the trajectory records the solver's speed over time, not only
+    # pass/fail against the committed baseline.
+    fig06_seconds = _time_fig06_default(seed=use_seed)
     entry = {
         "kind": "compare",
         "at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -333,6 +355,10 @@ def run_compare(baseline_path: str,
         "compared": report["compared"],
         "median_ratio": report["median_ratio"],
         "max_regress": max_regress,
+        "fig06_default_seconds": round(fig06_seconds, 3),
+        "fig06_speedup": round(
+            BASELINE["fig06_default_seconds"] / max(fig06_seconds,
+                                                    _TIMER_FLOOR), 2),
         "regressions": report["regressions"],
     }
     append_trajectory(trajectory, entry)
@@ -351,10 +377,15 @@ def run_compare(baseline_path: str,
 
 def run_bench(scale_name: str = "bench", out: str = "BENCH_netsim.json",
               names: Optional[Sequence[str]] = None, seed: int = 1,
-              profile: bool = False) -> int:
+              profile: bool = False, repeat: int = 1) -> int:
     """Time the catalogue, write ``out``, return a process exit code.
 
     Non-zero when any experiment errors (CI fails on regressions).
+    ``repeat`` times each experiment N times and keeps the fastest
+    wall time (counters are deterministic and identical across
+    repeats) -- use ``--repeat 3`` when refreshing the committed
+    baseline so one scheduler hiccup does not bake an unrepeatably
+    fast or slow number into the gate.
     """
     scale = SCALES[scale_name]
     targets = bench_targets(names)
@@ -362,6 +393,12 @@ def run_bench(scale_name: str = "bench", out: str = "BENCH_netsim.json",
     for name in targets:
         print(f"bench {name} (scale={scale.name}) ...", file=sys.stderr)
         record = time_experiment(name, scale, seed=seed)
+        for _ in range(max(repeat, 1) - 1):
+            if not record["ok"]:
+                break
+            rerun = time_experiment(name, scale, seed=seed)
+            if rerun.get("ok") and rerun["seconds"] < record["seconds"]:
+                record = rerun
         if record["ok"]:
             print(f"  {record['seconds']:.3f}s  "
                   f"{record['events_per_sec']:,} events/s  "
@@ -370,7 +407,7 @@ def run_bench(scale_name: str = "bench", out: str = "BENCH_netsim.json",
             print(f"  FAILED: {record['error']}", file=sys.stderr)
         results.append(record)
 
-    fig06_seconds = _time_fig06_default(seed=seed)
+    fig06_seconds = _time_fig06_default(seed=seed, repeat=repeat)
     payload = {
         "schema": 1,
         "scale": scale.name,

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run fig09 --out results.json   # JSON, round-trips
     python -m repro bench --scale quick
     python -m repro bench --compare BENCH_netsim.json --max-regress 0.15
+    python -m repro sweep fig06 --seeds 1,2,3 --processes 4
     python -m repro analyze --run fig06
     python -m repro analyze --trace trace_fig06.json
     python -m repro serve --port 8080
@@ -176,6 +177,49 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import SCALES as SWEEP_SCALES, sweep
+
+    names = list(EXPERIMENTS) if "all" in args.experiments \
+        else [resolve(name) for name in args.experiments]
+    scales = [s.strip() for s in args.scale.split(",") if s.strip()]
+    for scale_name in scales:
+        if scale_name not in SWEEP_SCALES:
+            raise SystemExit(f"unknown scale {scale_name!r}; choose from "
+                             f"{sorted(SWEEP_SCALES)}")
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError:
+        raise SystemExit("--seeds must be comma-separated integers, "
+                         f"got {args.seeds!r}") from None
+    if not scales or not seeds:
+        raise SystemExit("sweep needs at least one scale and one seed")
+    print(f"sweep: {len(names)} experiment(s) x {len(scales)} scale(s) "
+          f"x {len(seeds)} seed(s)", file=sys.stderr)
+    started = time.perf_counter()
+    results = sweep(names, scales=scales, seeds=seeds,
+                    processes=args.processes)
+    elapsed = time.perf_counter() - started
+    if args.out and args.out.endswith(".json"):
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump([r.to_dict() for r in results], fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    elif args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for result in results:
+                fh.write(result.to_text())
+                fh.write("\n\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        for result in results:
+            print(result.to_text())
+            print()
+    print(f"done: {len(results)} merged result(s) in {elapsed:.1f}s",
+          file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_bench, run_compare
 
@@ -187,7 +231,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                            names=args.only or None)
     return run_bench(scale_name=args.scale, out=args.out,
                      names=args.only or None, seed=args.seed,
-                     profile=args.profile)
+                     profile=args.profile, repeat=args.repeat)
 
 
 def _trace_platform_companion(scale: SimScale, seed: int) -> None:
@@ -613,6 +657,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--profile", action="store_true",
                        help="cProfile the slowest experiment "
                             "(dumps <out>.prof)")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="time each experiment N times, keep the "
+                            "fastest (use 3 when refreshing the "
+                            "committed baseline)")
     bench.add_argument("--compare", metavar="BASELINE",
                        help="regression gate: re-time the baseline's "
                             "experiments (at its scale/seed) and exit "
@@ -626,6 +674,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "comparison to (default: "
                             "BENCH_trajectory.jsonl)")
     bench.set_defaults(func=cmd_bench)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="multi-seed/scale experiment grid on all cores",
+        description="Run an (experiment x scale x seed) grid through "
+                    "the multiprocess sweep runner; one merged result "
+                    "per (experiment, scale), each row prefixed with "
+                    "its scale/seed.  Output is bit-for-bit identical "
+                    "at any worker count.")
+    sweep_p.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                         help="experiment names (short or module form), "
+                              "or 'all'")
+    sweep_p.add_argument("--scale", default="bench",
+                         help="comma-separated scale names "
+                              "(default: bench)")
+    sweep_p.add_argument("--seeds", default="1",
+                         help="comma-separated RNG seeds (default: 1)")
+    sweep_p.add_argument("--processes", type=int, default=None,
+                         help="worker processes (default: one per core; "
+                              "REPRO_PROCESSES also overrides)")
+    sweep_p.add_argument("--out",
+                         help="write results to a file (*.json "
+                              "serialises; any other extension gets the "
+                              "text rendering)")
+    sweep_p.set_defaults(func=cmd_sweep)
 
     analyze = sub.add_parser(
         "analyze",

@@ -19,6 +19,7 @@ from repro.aggregation import (
 )
 from repro.experiments.common import DEFAULT, ExperimentResult, SimScale, simulate
 from repro.experiments import register
+from repro.experiments.sweep import run_parallel
 from repro.netsim.metrics import fct_cdf
 
 STRATEGIES = (
@@ -30,6 +31,14 @@ STRATEGIES = (
 
 #: CDF fractions sampled into the result rows.
 FRACTIONS = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.00)
+
+
+def _strategy_fcts(task: Tuple[int, SimScale, int]) -> List[float]:
+    """One strategy's sorted FCT list (module-level: pool-picklable)."""
+    index, scale, seed = task
+    strategy, deploy = STRATEGIES[index]
+    sim = simulate(scale, strategy, deploy=deploy, seed=seed)
+    return sorted(sim.fcts())
 
 
 def cdfs(scale: SimScale = DEFAULT, seed: int = 1,
@@ -49,9 +58,9 @@ def run(scale: SimScale = DEFAULT, seed: int = 1) -> ExperimentResult:
         description="FCT at sampled CDF fractions, all traffic (seconds)",
         columns=("strategy",) + tuple(f"p{int(f * 100)}" for f in FRACTIONS),
     )
-    for strategy, deploy in STRATEGIES:
-        sim = simulate(scale, strategy, deploy=deploy, seed=seed)
-        fcts = sorted(sim.fcts())
+    tasks = [(index, scale, seed) for index in range(len(STRATEGIES))]
+    per_strategy = run_parallel(_strategy_fcts, tasks)
+    for (strategy, _deploy), fcts in zip(STRATEGIES, per_strategy):
         row = {"strategy": strategy.name}
         for fraction in FRACTIONS:
             index = min(len(fcts) - 1, int(fraction * len(fcts)) - 1)

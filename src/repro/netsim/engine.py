@@ -76,6 +76,28 @@ class EventQueue:
         callback()
         return True
 
+    def step_batch(self) -> int:
+        """Run every event stamped with the next timestamp, as one batch.
+
+        Coalesces simultaneous events: the clock advances once and all
+        callbacks scheduled at that time run in insertion order --
+        including events a callback schedules *at* the (now current)
+        batch time.  Returns the number executed (0 when idle).
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            return 0
+        when = self._heap[0][0]
+        executed = 0
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0][0] > when:
+                return executed
+            _, _token, callback = heapq.heappop(self._heap)
+            self._now = when
+            callback()
+            executed += 1
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Drain the queue, optionally stopping at time ``until``.
 

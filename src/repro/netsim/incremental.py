@@ -179,6 +179,18 @@ class IncrementalMaxMin:
         """Remove a flow; nothing below its old rate is disturbed."""
         flow = self._flows.pop(flow_id)
         users = self._users
+        if flow in self._dirty_flows and flow.fid not in self._rates:
+            # Un-add: the flow was added since the last solve and never
+            # received a rate, so no other flow's allocation can depend
+            # on it yet.  Cancel the pending add outright instead of
+            # dirtying its links; with no other pending perturbation the
+            # next rates() call is a cache hit.
+            self._dirty_flows.discard(flow)
+            for li in flow.links:
+                users[li].discard(flow)
+            if not self._dirty_flows and not self._dirty_links:
+                self._bound = _INF
+            return
         dirty_links = self._dirty_links
         for li in flow.links:
             users[li].discard(flow)
@@ -190,9 +202,58 @@ class IncrementalMaxMin:
 
     def reroute(self, flow_id: str, links: Sequence[str],
                 rate_cap: Optional[float] = None) -> None:
-        """Move a flow onto a new path (old and new regions go dirty)."""
-        self.remove_flow(flow_id)
-        self.add_flow(flow_id, links, rate_cap=rate_cap)
+        """Move a flow onto a new path.
+
+        Shared links are deduped: only links the flow actually leaves go
+        onto the dirty-link list (the flow itself seeds the region BFS,
+        which covers its new links), and a reroute onto the identical
+        link set with an unchanged rate cap is a pure no-op -- §3.1
+        rewiring storms that re-issue a flow's current path no longer
+        trigger region re-solves.  The water-level bound matches the old
+        remove+add pair exactly: nothing below the flow's old rate is
+        disturbed on departed links, nothing below a link's even split
+        among its users is disturbed on the new path.
+        """
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            raise KeyError(flow_id)
+        index = self._link_index
+        try:
+            new_links = tuple({index[l]: None for l in links})
+        except KeyError as exc:
+            raise KeyError(
+                f"flow {flow_id!r} uses unknown link {exc.args[0]!r}"
+            ) from None
+        if new_links == flow.links and rate_cap == flow.cap:
+            return
+        users = self._users
+        cap_arr = self._cap_arr
+        old_set = set(flow.links)
+        new_set = set(new_links)
+        for li in flow.links:
+            if li not in new_set:
+                users[li].discard(flow)
+                self._dirty_links.add(li)
+        bound = self._bound
+        for li in new_links:
+            link_users = users[li]
+            if li not in old_set:
+                link_users.add(flow)
+            first_touch = cap_arr[li] / len(link_users)
+            if first_touch < bound:
+                bound = first_touch
+        # Keep the stale rate entry: the flow seeds the next region
+        # re-solve, which overwrites it.  Popping it would make a later
+        # remove_flow() mistake this flow for a never-solved fresh add
+        # (``fid not in self._rates``) and cancel it without releasing
+        # its links' capacity.
+        old_rate = self._rates.get(flow_id, _INF)
+        if old_rate < bound:
+            bound = old_rate
+        self._bound = bound
+        flow.links = new_links
+        flow.cap = rate_cap
+        self._dirty_flows.add(flow)
 
     def set_capacity(self, link_id: str, capacity: float) -> None:
         """Change a link's capacity (0 = down: its flows get rate 0)."""

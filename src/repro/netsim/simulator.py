@@ -41,6 +41,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.netsim.incremental import IncrementalMaxMin, SolverStats
 from repro.netsim.network import Network
+from repro.netsim.vectorized import (
+    HAVE_NUMPY,
+    SOLVER_BACKENDS,
+    VectorizedMaxMin,
+    make_solver,
+    _np,
+)
 from repro.obs import LINK_UTIL_PREFIX, METRICS, get_tracer
 from repro.units import EPSILON
 
@@ -78,6 +85,10 @@ class SimCounters:
         return METRICS.counter("netsim.events").value
 
     @property
+    def epochs(self) -> int:
+        return METRICS.counter("netsim.epochs").value
+
+    @property
     def solver(self) -> SolverStats:
         return SolverStats(**{
             attr: METRICS.counter(name).value
@@ -93,6 +104,7 @@ class SimCounters:
             "runs": self.runs,
             "flows": self.flows,
             "events": self.events,
+            "epochs": self.epochs,
             "solver_calls": solver.solves,
             "solver_cache_hits": solver.cache_hits,
             "components_resolved": solver.components_resolved,
@@ -251,15 +263,32 @@ class FlowSim:
     period additionally caps each link's track at one sample per period
     (coarser timelines, smaller traces).  Sampling only happens under an
     enabled tracer.
+
+    ``solver`` selects the max-min backend: ``"vectorized"`` (numpy),
+    ``"incremental"`` (pure Python) or ``"auto"`` (the default:
+    vectorized when numpy is importable, incremental otherwise).  With
+    the vectorized backend and no enabled tracer, the per-epoch loop
+    (rate lookups, byte draining, completion detection) also runs as
+    array operations over the solver's flow slots.
     """
 
     def __init__(self, network: Network, label: str = "",
-                 link_sample_period: Optional[float] = None) -> None:
+                 link_sample_period: Optional[float] = None,
+                 solver: str = "auto") -> None:
         if link_sample_period is not None and link_sample_period < 0:
             raise ValueError("link_sample_period must be >= 0 (or None)")
+        if solver not in SOLVER_BACKENDS:
+            raise ValueError(
+                f"unknown solver backend {solver!r}; "
+                f"choose from {SOLVER_BACKENDS}")
+        if solver == "vectorized" and not HAVE_NUMPY:
+            raise RuntimeError(
+                "solver='vectorized' requires numpy (pip install .[fast]); "
+                "use solver='auto' for the automatic fallback")
         self._network = network
         self._label = label
         self._link_sample_period = link_sample_period
+        self._solver_backend = solver
         self._specs: Dict[str, FlowSpec] = {}
         self._cap_events: List[CapacityEvent] = []
         self._reroute_events: List[RerouteEvent] = []
@@ -314,21 +343,27 @@ class FlowSim:
     def run(self) -> SimulationResult:
         """Run to completion and return per-flow records.
 
-        The hot path keeps one :class:`IncrementalMaxMin` solver alive
-        for the whole run: admissions, completions, capacity changes and
-        reroutes mutate its state, and each rate epoch re-solves only
-        the perturbed components.  Flows whose current path crosses a
-        down link are parked in ``stalled`` (and removed from the
-        solver) via a per-link index instead of a per-epoch scan.
+        The hot path keeps one max-min solver alive for the whole run:
+        admissions, completions, capacity changes and reroutes mutate
+        its state, and every event that lands on one virtual timestamp
+        is coalesced into a single rate epoch (one solver consult;
+        ``netsim.events`` counts the individual events,
+        ``netsim.epochs`` the solves-plus-cache-hits).  Flows whose
+        current path crosses a down link are parked in ``stalled`` (and
+        removed from the solver) via a per-link index instead of a
+        per-epoch scan.  With the vectorized solver and no tracer the
+        per-epoch byte draining runs over the solver's slot arrays.
         """
         self._validate_dependencies()
         METRICS.counter("netsim.runs").inc()
         METRICS.counter("netsim.flows").inc(len(self._specs))
-        epochs = METRICS.counter("netsim.events")
+        n_events = 0   # admissions + completions + fault events applied
+        n_epochs = 0   # rate epochs (one solver consult each)
         tracer = get_tracer()
         traced = tracer.enabled
         capacities = dict(self._network.capacities())
-        solver = IncrementalMaxMin(capacities)
+        solver = make_solver(capacities, self._solver_backend)
+        fast = isinstance(solver, VectorizedMaxMin) and not traced
         run_span = tracer.begin(
             "flowsim.run", 0.0, layer="netsim",
             flows=len(self._specs), links=len(capacities),
@@ -376,6 +411,70 @@ class FlowSim:
         records: Dict[str, FlowRecord] = {}
         now = 0.0
 
+        #: Fast-path state: transferring bytes live in per-slot arrays
+        #: (indexed by the vectorized solver's slots); stalled flows'
+        #: bytes are parked in ``parked`` while they are out of the
+        #: solve.  ``remaining`` stays empty in fast mode.
+        rem_arr = thr_arr = live_arr = None
+        slot_fid: Dict[int, str] = {}
+        fid_slot: Dict[str, int] = {}
+        parked: Dict[str, float] = {}
+        if fast:
+            rem_arr = _np.zeros(256)
+            thr_arr = _np.zeros(256)
+            live_arr = _np.zeros(256, dtype=bool)
+
+        def _ensure(slot: int) -> None:
+            nonlocal rem_arr, thr_arr, live_arr
+            n = len(rem_arr)
+            if slot < n:
+                return
+            new = max(slot + 1, 2 * n)
+            grown = _np.zeros(new)
+            grown[:n] = rem_arr
+            rem_arr = grown
+            grown = _np.zeros(new)
+            grown[:n] = thr_arr
+            thr_arr = grown
+            grown_b = _np.zeros(new, dtype=bool)
+            grown_b[:n] = live_arr
+            live_arr = grown_b
+
+        def solver_add(flow_id: str) -> None:
+            """Enter a flow into the rate solve (admission/unstall)."""
+            slot = solver.add_flow(flow_id, paths[flow_id],
+                                   rate_cap=self._specs[flow_id].rate_cap)
+            if fast:
+                _ensure(slot)
+                rem_arr[slot] = parked.pop(flow_id)
+                thr_arr[slot] = EPSILON * max(
+                    1.0, self._specs[flow_id].size)
+                live_arr[slot] = True
+                slot_fid[slot] = flow_id
+                fid_slot[flow_id] = slot
+
+        def solver_drop(flow_id: str, park: bool) -> None:
+            """Take a flow out of the rate solve (stall/finish)."""
+            if fast:
+                slot = fid_slot.pop(flow_id)
+                if park:
+                    parked[flow_id] = float(rem_arr[slot])
+                live_arr[slot] = False
+                del slot_fid[slot]
+            solver.remove_flow(flow_id)
+
+        def transferring(flow_id: str) -> bool:
+            if fast:
+                return flow_id in fid_slot or flow_id in parked
+            return flow_id in remaining
+
+        def remaining_of(flow_id: str) -> float:
+            if fast:
+                got = parked.get(flow_id)
+                return float(rem_arr[fid_slot[flow_id]]) \
+                    if got is None else got
+            return remaining[flow_id]
+
         #: Links currently at zero capacity, and the per-link index of
         #: admitted-but-unfinished flows used to find who a capacity or
         #: reroute event touches without scanning every active flow.
@@ -393,10 +492,9 @@ class FlowSim:
             if down_links and any(l in down_links for l in path):
                 stalled.add(flow_id)
             else:
-                solver.add_flow(flow_id, path,
-                                rate_cap=self._specs[flow_id].rate_cap)
+                solver_add(flow_id)
 
-        def detach(flow_id: str) -> None:
+        def detach(flow_id: str, park: bool = True) -> None:
             for link_id in set(paths[flow_id]):
                 users = link_flows.get(link_id)
                 if users is not None:
@@ -404,9 +502,11 @@ class FlowSim:
             if flow_id in stalled:
                 stalled.discard(flow_id)
             elif flow_id in solver:
-                solver.remove_flow(flow_id)
+                solver_drop(flow_id, park)
 
         def drain(flow_id: str, when: float, admitted: float) -> None:
+            nonlocal n_events
+            n_events += 1
             records[flow_id] = FlowRecord(
                 spec=self._specs[flow_id], drain_time=when,
                 admitted_time=admitted,
@@ -435,8 +535,10 @@ class FlowSim:
 
         def admit(until: float) -> None:
             """Admit armed flows whose admission time has arrived."""
+            nonlocal n_events
             while pending and pending[0][0] <= until + EPSILON:
                 when, flow_id = heapq.heappop(pending)
+                n_events += 1
                 spec = self._specs[flow_id]
                 admitted = max(when, spec.start_time)
                 if spec.size <= 0 or (not paths[flow_id] and
@@ -447,10 +549,15 @@ class FlowSim:
                         spec=spec, drain_time=float("nan"),
                         admitted_time=admitted,
                     )
-                    remaining[flow_id] = spec.size
+                    if fast:
+                        parked[flow_id] = spec.size
+                    else:
+                        remaining[flow_id] = spec.size
                     attach(flow_id)
 
         def apply_event(event: object) -> None:
+            nonlocal n_events
+            n_events += 1
             if isinstance(event, CapacityEvent):
                 link_id = event.link_id
                 old = capacities[link_id]
@@ -469,7 +576,7 @@ class FlowSim:
                         if fid not in stalled:
                             stalled.add(fid)
                             if fid in solver:
-                                solver.remove_flow(fid)
+                                solver_drop(fid, park=True)
                 elif old <= 0.0 < event.capacity:
                     down_links.discard(link_id)
                     for fid in sorted(link_flows.get(link_id, ())):
@@ -477,21 +584,18 @@ class FlowSim:
                             l in down_links for l in paths[fid]
                         ):
                             stalled.discard(fid)
-                            solver.add_flow(
-                                fid, paths[fid],
-                                rate_cap=self._specs[fid].rate_cap,
-                            )
+                            solver_add(fid)
                 return
             assert isinstance(event, RerouteEvent)
             flow_id = event.flow_id
             if traced:
                 tracer.instant("reroute", event.when, layer="netsim",
                                flow=flow_id, hops=len(event.path))
-            if flow_id in records and flow_id not in remaining:
+            if flow_id in records and not transferring(flow_id):
                 return  # already drained; nothing left to move
-            if flow_id in remaining:
+            if transferring(flow_id):
                 # Charge what transferred so far to the old path.
-                moved = self._specs[flow_id].size - remaining[flow_id]
+                moved = self._specs[flow_id].size - remaining_of(flow_id)
                 delta = moved - accounted.get(flow_id, 0.0)
                 if delta > 0:
                     for link_id in paths[flow_id]:
@@ -503,8 +607,8 @@ class FlowSim:
             else:
                 paths[flow_id] = event.path
 
-        while pending or remaining:
-            if not remaining:
+        while pending or remaining or fid_slot or parked:
+            if not (remaining or fid_slot or parked):
                 wake = pending[0][0]
                 if event_i < len(events):
                     wake = min(wake, events[event_i][0])
@@ -514,25 +618,37 @@ class FlowSim:
                 apply_event(events[event_i][2])
                 event_i += 1
             admit(now)
-            if not remaining:
+            if not (remaining or fid_slot or parked):
                 continue
 
-            # One incremental re-solve covers every admission,
-            # completion and fault event applied at this instant;
-            # untouched components come straight from the cache.
-            rates = solver.rates()
-            epochs.inc()
-            dt_complete = float("inf")
-            for flow_id in remaining:
-                if flow_id in stalled:
-                    continue
-                rate = rates[flow_id]
-                if rate == float("inf"):
-                    dt_complete = 0.0
-                    break
-                if rate > 0:
-                    dt_complete = min(dt_complete,
-                                      remaining[flow_id] / rate)
+            # One re-solve covers every admission, completion and fault
+            # event applied at this instant; a clean solver answers
+            # straight from its cache.
+            n_epochs += 1
+            rates: Dict[str, float] = {}
+            if fast:
+                nslots = solver.nslots
+                rate_v = solver.rates_array()[:nslots]
+                live_v = live_arr[:nslots]
+                rem_v = rem_arr[:nslots]
+                moving = live_v & (rate_v > 0.0)
+                any_moving = bool(moving.any())
+                dt_complete = float(
+                    (rem_v[moving] / rate_v[moving]).min()
+                ) if any_moving else float("inf")
+            else:
+                rates = solver.rates()
+                dt_complete = float("inf")
+                for flow_id in remaining:
+                    if flow_id in stalled:
+                        continue
+                    rate = rates[flow_id]
+                    if rate == float("inf"):
+                        dt_complete = 0.0
+                        break
+                    if rate > 0:
+                        dt_complete = min(dt_complete,
+                                          remaining[flow_id] / rate)
             dt_next_start = (pending[0][0] - now) if pending else float("inf")
             dt_next_event = (events[event_i][0] - now) \
                 if event_i < len(events) else float("inf")
@@ -566,23 +682,41 @@ class FlowSim:
             now += dt
             if traced:
                 tracer.end(epoch_span, now)
-            finished: List[str] = []
-            for flow_id in remaining:
-                if flow_id in stalled:
-                    continue
-                rate = rates[flow_id]
-                if rate == float("inf"):
-                    remaining[flow_id] = 0.0
-                elif rate > 0.0:
-                    remaining[flow_id] -= rate * dt
-                if remaining[flow_id] <= EPSILON * max(
-                    1.0, self._specs[flow_id].size
-                ):
-                    finished.append(flow_id)
-            for flow_id in finished:
-                del remaining[flow_id]
-                detach(flow_id)
-                drain(flow_id, now, records[flow_id].admitted_time)
+            if fast:
+                if any_moving:
+                    # Infinite-rate flows drain instantly regardless of
+                    # dt; keep them out of the multiply (inf * 0 = NaN).
+                    inf_v = moving & _np.isinf(rate_v)
+                    if inf_v.any():
+                        rem_v[inf_v] = 0.0
+                        moving &= ~inf_v
+                    if dt > 0.0:
+                        rem_v[moving] -= rate_v[moving] * dt
+                done = live_v & (rem_v <= thr_arr[:nslots])
+                for slot in _np.nonzero(done)[0].tolist():
+                    fid = slot_fid[slot]
+                    detach(fid, park=False)
+                    drain(fid, now, records[fid].admitted_time)
+            else:
+                finished: List[str] = []
+                for flow_id in remaining:
+                    if flow_id in stalled:
+                        continue
+                    rate = rates[flow_id]
+                    if rate == float("inf"):
+                        remaining[flow_id] = 0.0
+                    elif rate > 0.0:
+                        remaining[flow_id] -= rate * dt
+                    if remaining[flow_id] <= EPSILON * max(
+                        1.0, self._specs[flow_id].size
+                    ):
+                        finished.append(flow_id)
+                for flow_id in finished:
+                    del remaining[flow_id]
+                    detach(flow_id)
+                    drain(flow_id, now, records[flow_id].admitted_time)
+        METRICS.counter("netsim.events").inc(n_events)
+        METRICS.counter("netsim.epochs").inc(n_epochs)
         for attr, name in _SOLVER_METRICS:
             METRICS.counter(name).inc(getattr(solver.stats, attr))
 

@@ -85,6 +85,12 @@ class Topology:
         self._boxes: Dict[str, List[AggBoxInfo]] = {}  # switch -> boxes
         self._box_index: Dict[str, AggBoxInfo] = {}  # box id -> info
         self._paths_cache: Dict[Tuple[str, str], Tuple[Tuple[str, ...], ...]] = {}
+        #: Per-source BFS over the relay (switch) graph: src ->
+        #: (pop order, distances, shortest-path predecessors).  One
+        #: sweep serves every destination that source routes to.
+        self._bfs_cache: Dict[
+            str, Tuple[List[str], Dict[str, int], Dict[str, List[str]]]
+        ] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -107,6 +113,7 @@ class Topology:
         self._adjacency[a].append(b)
         self._adjacency[b].append(a)
         self._paths_cache.clear()
+        self._bfs_cache.clear()
 
     def attach_aggbox(
         self,
@@ -228,29 +235,59 @@ class Topology:
             return [[src]]
         return self._bfs_all_shortest(src, dst)
 
-    def _bfs_all_shortest(self, src: str, dst: str) -> List[List[str]]:
-        if src not in self._nodes or dst not in self._nodes:
-            raise KeyError(f"unknown endpoint in route {src!r} -> {dst!r}")
-        # Standard BFS recording all shortest-path predecessors.
+    def _source_bfs(
+        self, src: str,
+    ) -> Tuple[List[str], Dict[str, int], Dict[str, List[str]]]:
+        """One BFS from ``src`` over the relay (switch) graph, memoised.
+
+        Leaf nodes (hosts, boxes) never relay traffic, so the sweep
+        skips them entirely; a leaf destination is resolved at query
+        time from its adjacent relays.  Returns the nodes in pop order
+        (non-decreasing distance), the distance map and the
+        shortest-path predecessor lists.
+        """
+        cached = self._bfs_cache.get(src)
+        if cached is not None:
+            return cached
         dist: Dict[str, int] = {src: 0}
         preds: Dict[str, List[str]] = {src: []}
+        order: List[str] = [src]
         queue = deque([src])
         while queue:
             current = queue.popleft()
-            if current == dst:
-                continue
             for neighbor in self._adjacency[current]:
-                # Leaf nodes (hosts, boxes) never relay other nodes' traffic.
-                if neighbor != dst and self._nodes[neighbor].tier in (HOST, AGGBOX):
+                if self._nodes[neighbor].tier in (HOST, AGGBOX):
                     continue
                 if neighbor not in dist:
                     dist[neighbor] = dist[current] + 1
                     preds[neighbor] = [current]
                     queue.append(neighbor)
+                    order.append(neighbor)
                 elif dist[neighbor] == dist[current] + 1:
                     preds[neighbor].append(current)
-        if dst not in dist:
-            raise ValueError(f"no path from {src!r} to {dst!r}")
+        self._bfs_cache[src] = (order, dist, preds)
+        return order, dist, preds
+
+    def _bfs_all_shortest(self, src: str, dst: str) -> List[List[str]]:
+        if src not in self._nodes or dst not in self._nodes:
+            raise KeyError(f"unknown endpoint in route {src!r} -> {dst!r}")
+        order, dist, preds = self._source_bfs(src)
+        if dst in dist:
+            dst_preds = preds[dst]
+        else:
+            # Leaf destination: its predecessors are the nearest
+            # adjacent relays (or the source itself), in pop order --
+            # exactly the order a per-destination BFS discovers them.
+            adjacent = set(self._adjacency[dst])
+            best = None
+            for node in order:
+                if node in adjacent:
+                    best = dist[node]
+                    break
+            if best is None:
+                raise ValueError(f"no path from {src!r} to {dst!r}")
+            dst_preds = [node for node in order
+                         if node in adjacent and dist[node] == best]
 
         paths: List[List[str]] = []
 
@@ -258,7 +295,7 @@ class Topology:
             if node == src:
                 paths.append([src] + acc)
                 return
-            for pred in preds[node]:
+            for pred in (dst_preds if node == dst else preds[node]):
                 unwind(pred, [node] + acc)
 
         unwind(dst, [])

@@ -289,6 +289,45 @@ class TestBenchCompare:
         outcome = compare_payloads(current, baseline)
         assert any("now failing" in r for r in outcome["regressions"])
 
+    def test_zero_duration_rows_do_not_poison_median(self):
+        """A sub-tick (0.0s) row must not drag the machine-speed median
+        to zero and flag every other experiment as a regression."""
+        from repro.bench import compare_payloads
+
+        baseline = self._payload(
+            a={"seconds": 1.0, "events": 100},
+            b={"seconds": 0.0, "events": 10},
+        )
+        current = self._payload(
+            a={"seconds": 1.0, "events": 100},
+            b={"seconds": 0.0, "events": 10},
+        )
+        outcome = compare_payloads(current, baseline)
+        assert outcome["regressions"] == []
+        assert outcome["median_ratio"] == 1.0
+
+    def test_zero_duration_rows_still_gate_on_counters(self):
+        from repro.bench import compare_payloads
+
+        baseline = self._payload(b={"seconds": 0.0, "events": 10})
+        current = self._payload(b={"seconds": 0.0, "events": 30})
+        outcome = compare_payloads(current, baseline)
+        assert any("events grew 3.00x" in r for r in outcome["regressions"])
+
+    def test_events_per_sec_floored_for_subtick_runs(self, monkeypatch):
+        """``time_experiment`` never records a 0.0 events/sec rate: a
+        clock too coarse to see the run is floored, not zeroed."""
+        from repro import bench
+
+        ticks = iter([5.0, 5.0])  # elapsed == 0.0 exactly
+        monkeypatch.setattr(bench.time, "perf_counter",
+                            lambda: next(ticks))
+        record = bench.time_experiment("fig06_fct_cdf",
+                                       bench.SCALES["quick"])
+        assert record["ok"]
+        assert record["seconds"] == 0.0
+        assert record["events_per_sec"] > 0.0
+
     def test_cli_gate_fails_on_injected_regression(self, tmp_path):
         """`bench --compare` exits non-zero against a doctored baseline.
 

@@ -107,3 +107,56 @@ class TestRun:
         assert queue.peek_time() is None
         queue.schedule(3.0, lambda: None)
         assert queue.peek_time() == 3.0
+
+
+class TestStepBatch:
+    def test_coalesces_simultaneous_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(1.0, lambda: fired.append("b"))
+        queue.schedule(2.0, lambda: fired.append("later"))
+        executed = queue.step_batch()
+        assert executed == 2
+        assert fired == ["a", "b"]
+        assert queue.now == 1.0
+
+    def test_includes_events_scheduled_at_batch_time(self):
+        """A callback that schedules more work *at* the batch timestamp
+        sees it drained in the same batch, not deferred."""
+        queue = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            queue.schedule_at(queue.now, lambda: fired.append("chained"))
+
+        queue.schedule(1.0, first)
+        queue.schedule(3.0, lambda: fired.append("later"))
+        executed = queue.step_batch()
+        assert executed == 2
+        assert fired == ["first", "chained"]
+        assert queue.now == 1.0
+
+    def test_empty_queue_returns_zero(self):
+        queue = EventQueue()
+        assert queue.step_batch() == 0
+
+    def test_cancelled_events_do_not_count(self):
+        queue = EventQueue()
+        fired = []
+        token = queue.schedule(1.0, lambda: fired.append("dead"))
+        queue.schedule(1.0, lambda: fired.append("live"))
+        queue.cancel(token)
+        assert queue.step_batch() == 1
+        assert fired == ["live"]
+
+    def test_batches_partition_the_timeline(self):
+        queue = EventQueue()
+        fired = []
+        for t, name in [(1.0, "a"), (1.0, "b"), (2.0, "c")]:
+            queue.schedule(t, lambda n=name: fired.append(n))
+        assert queue.step_batch() == 2
+        assert queue.step_batch() == 1
+        assert queue.step_batch() == 0
+        assert fired == ["a", "b", "c"]

@@ -6,13 +6,20 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.netsim.fairness import max_min_rates, max_min_rates_np, max_min_rates_py
+from repro.netsim.fairness import (
+    _np,
+    max_min_rates,
+    max_min_rates_np,
+    max_min_rates_py,
+)
 
 SOLVERS = [max_min_rates_py, max_min_rates_np]
 
 
 @pytest.fixture(params=SOLVERS, ids=["python", "numpy"])
 def solver(request):
+    if request.param is max_min_rates_np and _np is None:
+        pytest.skip("numpy not installed")
     return request.param
 
 
@@ -114,6 +121,7 @@ def random_instance(draw):
 
 
 class TestPropertyBased:
+    @pytest.mark.skipif(_np is None, reason="numpy not installed")
     @given(random_instance())
     @settings(max_examples=200, deadline=None)
     def test_implementations_agree(self, instance):

@@ -82,6 +82,7 @@ class TestIterativePageRank:
 
     def test_matches_networkx(self):
         networkx = pytest.importorskip("networkx")
+        pytest.importorskip("numpy")  # networkx.pagerank is scipy-backed
         graph = generate_graph(60, out_degree=3, seed=5)
         result = pagerank(graph, tolerance=1e-10, max_iterations=200)
         G = networkx.DiGraph()

@@ -233,3 +233,45 @@ class TestConservationProperties:
             sim.add_flow(FlowSpec(f"f{i}", size=size, path=("l",)))
         result = sim.run()
         assert result.end_time == pytest.approx(sum(sizes) / 10.0)
+
+
+class TestSolverBackends:
+    """The ``solver=`` knob swaps the max-min backend without changing
+    any observable simulation outcome."""
+
+    def _workload(self):
+        network = Network([Link("core", 10.0), Link("edge_a", 6.0),
+                           Link("edge_b", 4.0)])
+        specs = [
+            FlowSpec("f1", size=30.0, path=("edge_a", "core")),
+            FlowSpec("f2", size=20.0, path=("edge_b", "core"),
+                     start_time=1.0),
+            FlowSpec("f3", size=12.0, path=("core",), start_time=2.0,
+                     rate_cap=3.0),
+            FlowSpec("f4", size=8.0, path=("edge_a",), start_time=0.5,
+                     children=("f5",)),
+            FlowSpec("f5", size=5.0, path=("edge_b",)),
+        ]
+        return network, specs
+
+    def _run(self, solver):
+        network, specs = self._workload()
+        sim = FlowSim(network, solver=solver)
+        for spec in specs:
+            sim.add_flow(spec)
+        result = sim.run()
+        return {fid: round(record.fct, 9)
+                for fid, record in result.records.items()}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            FlowSim(two_link_network(), solver="bogus")
+
+    def test_backends_agree_on_completion_times(self):
+        pytest.importorskip("numpy")
+        incremental = self._run("incremental")
+        vectorized = self._run("vectorized")
+        assert incremental == vectorized
+
+    def test_auto_matches_incremental(self):
+        assert self._run("auto") == self._run("incremental")
