@@ -1,0 +1,19 @@
+"""Burn-rate alerting: alert lead time vs SLO budget exhaustion.
+
+Regenerates the experiment through the registry at BENCH scale and
+prints the series.  Run with ``pytest benchmarks/ --benchmark-only``;
+``benchmarks/harness.py`` (or ``python -m repro bench``) times the whole
+catalogue and records BENCH_netsim.json.
+"""
+
+from repro.experiments import BENCH, load
+
+
+def bench_fig_burnrate(benchmark):
+    exp = load("fig_burnrate")
+    result = benchmark.pedantic(
+        lambda: exp.run(scale=BENCH), rounds=1, iterations=1
+    )
+    assert result.rows
+    print()
+    print(result.to_text())

@@ -14,6 +14,7 @@ Usage (after ``pip install -e .``)::
     python -m repro analyze --trace trace_fig06.json
     python -m repro serve --port 8080
     python -m repro loadgen --users 1e6 --duration 60
+    python -m repro watch --url http://127.0.0.1:8080
     python -m repro info
 
 Experiment names accept the short form (``fig08``) or the full module
@@ -542,6 +543,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.serve.watch import watch_loop
+
+    return watch_loop(args.url, interval=args.interval,
+                      iterations=args.iterations, top=args.top)
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig, run_loadgen
     from repro.serve.service import TenantPolicy
@@ -763,6 +771,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-admission", action="store_true",
                        help="disable per-tenant admission control")
     serve.set_defaults(func=cmd_serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live text dashboard over a running serve front-end",
+        description="Polls GET /v1/stats and GET /metrics of a running "
+                    "`python -m repro serve` and renders the top-N "
+                    "tenants by windowed rate: live p99, goodput, SLO "
+                    "burn rates and episode state, plus the hottest "
+                    "platform/aggbox counters.")
+    watch.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="front-end base URL "
+                            "(default: http://127.0.0.1:8080)")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="poll interval in wall seconds (default: 1)")
+    watch.add_argument("--iterations", type=int, default=None,
+                       help="render N frames then exit "
+                            "(default: run until interrupted)")
+    watch.add_argument("--top", type=int, default=10,
+                       help="tenants shown (default: 10)")
+    watch.set_defaults(func=cmd_watch)
 
     loadgen = sub.add_parser(
         "loadgen",

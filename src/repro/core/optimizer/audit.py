@@ -12,7 +12,11 @@ live feeds the control loop consumes -- and folds them into a frozen
   samples (PR 5) or an experiment's own load accounting;
 - ``drained``: boxes currently drained by earlier optimizer actions,
   usually :meth:`~repro.core.platform.NetAggPlatform.drained_boxes`;
-- ``fct_p99``: tail flow-completion time, when the caller tracks one.
+- ``fct_p99``: tail flow-completion time, when the caller tracks one;
+- ``alerts``: SLO burn-rate alerts fired since the last tick, usually
+  :meth:`repro.obs.live.LiveTelemetry.drain_alerts` -- the live
+  telemetry plane's observe -> alert -> act hook into the control
+  loop.
 
 Shim-retry pressure comes straight from the live metrics registry: the
 auditor snapshots ``platform.shim.retry`` each tick and reports the
@@ -24,7 +28,7 @@ and bumps ``optimizer.audits``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.aggbox.overload import FAILED, PRESSURED, SHEDDING, SUSPECT
 from repro.obs import METRICS, get_tracer
@@ -56,6 +60,10 @@ class AuditReport:
     boxes: Tuple[BoxAudit, ...]
     retry_delta: int = 0         #: shim retries since the last audit
     fct_p99: Optional[float] = None
+    #: SLO burn-rate alerts fired since the last audit (each an object
+    #: with ``key``/``at``/``fast_burn``/``slow_burn``, typically a
+    #: :class:`repro.obs.live.BurnRateAlert`).
+    alerts: Tuple[object, ...] = ()
 
     def box(self, box_id: str) -> BoxAudit:
         for audit in self.boxes:
@@ -81,13 +89,16 @@ class Auditor:
         utilization: Optional[Callable[[], Dict[str, float]]] = None,
         drained: Optional[Callable[[], set]] = None,
         fct_p99: Optional[Callable[[], Optional[float]]] = None,
+        alerts: Optional[Callable[[], Sequence[object]]] = None,
     ) -> None:
         self._health = health
         self._utilization = utilization
         self._drained = drained
         self._fct_p99 = fct_p99
+        self._alerts = alerts
         self._retry_counter = METRICS.counter("platform.shim.retry")
         self._m_audits = METRICS.counter("optimizer.audits")
+        self._m_alerted = METRICS.counter("optimizer.audits.alerted")
         self._last_retries: Optional[int] = None
 
     def audit(self, at: float) -> AuditReport:
@@ -115,13 +126,17 @@ class Auditor:
                 )
                 for box_id, beat in sorted(heartbeats.items())
             )
+            alerts = tuple(self._alerts()) if self._alerts else ()
             report = AuditReport(
                 at=at,
                 boxes=boxes,
                 retry_delta=delta,
                 fct_p99=self._fct_p99() if self._fct_p99 else None,
+                alerts=alerts,
             )
             self._m_audits.inc()
+            if alerts:
+                self._m_alerted.inc()
             return report
         finally:
             if span:

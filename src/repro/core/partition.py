@@ -24,8 +24,10 @@ detector has no wall-clock or randomness of its own.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.live.series import ewma_step
 
 
 @dataclass(frozen=True)
@@ -73,7 +75,9 @@ class GrayDetector:
                  baseline: Optional[float] = None) -> None:
         self._policy = policy
         self._baseline = policy.baseline if baseline is None else baseline
-        self._ewma: Dict[str, float] = {}
+        #: Per-box smoothed baselines (repro.obs.live owns the EWMA
+        #: arithmetic; this detector only keeps the per-box state).
+        self._baselines: Dict[str, float] = {}
         self._count: Dict[str, int] = {}
         self._flagged: Dict[str, float] = {}
 
@@ -81,23 +85,24 @@ class GrayDetector:
                 at: float) -> bool:
         """Fold one observed service time; returns True when flagged."""
         policy = self._policy
-        ewma = self._ewma.get(box_id)
+        baseline = self._baselines.get(box_id)
         seen = self._count.get(box_id, 0)
-        if ewma is None:
+        if baseline is None:
             if self._baseline is not None:
-                ewma, seen = self._baseline, seen + 1
+                baseline, seen = self._baseline, seen + 1
             else:
                 # No prior at all: the first sample becomes the baseline.
-                self._ewma[box_id] = service_time
+                self._baselines[box_id] = service_time
                 self._count[box_id] = seen + 1
                 return False
         self._count[box_id] = seen + 1
-        if seen >= policy.min_samples and ewma > 0 \
-                and service_time > policy.threshold * ewma:
+        if seen >= policy.min_samples and baseline > 0 \
+                and service_time > policy.threshold * baseline:
             self._flagged[box_id] = at
             return True
         self._flagged.pop(box_id, None)
-        self._ewma[box_id] = ewma + policy.alpha * (service_time - ewma)
+        self._baselines[box_id] = ewma_step(baseline, service_time,
+                                            policy.alpha)
         return False
 
     def is_gray(self, box_id: str) -> bool:
@@ -107,7 +112,7 @@ class GrayDetector:
         return sorted(self._flagged)
 
     def baseline_of(self, box_id: str) -> Optional[float]:
-        return self._ewma.get(box_id, self._baseline)
+        return self._baselines.get(box_id, self._baseline)
 
 
 @dataclass(frozen=True)

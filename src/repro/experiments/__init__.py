@@ -72,6 +72,7 @@ MODULES: List[str] = [
     "fig_selfheal",
     "fig_serve",
     "fig_partition",
+    "fig_burnrate",
 ]
 
 

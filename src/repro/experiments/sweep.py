@@ -14,6 +14,24 @@ Two layers:
   spawn).  Results are deterministic either way: every cell carries its
   own explicit seed, so *which* worker runs it cannot matter.
 
+Merge-back scope -- what does and does not cross the fork boundary:
+
+- **Merged**: monotonic ``netsim.*`` *counters* only.  Each child
+  reports its before/after delta, which the parent re-applies exactly
+  once, so serial and parallel totals agree and nothing is counted
+  twice (the child inherits the parent's counter values at fork time;
+  the delta subtracts that inheritance out).
+- **Per-process, discarded**: everything else.  Gauges and histograms
+  are point-in-time process state with no meaningful cross-process
+  sum.  Likewise the live telemetry plane (:mod:`repro.obs.live`) --
+  ``TimeSeriesStore`` windows, ``SloMonitor`` burn state and
+  ``FlightRecorder`` rings index *one process's* virtual clock; a
+  child's windowed points are never folded into the parent store, so
+  a sweep can never double-count a request into a window or fire a
+  parent-side alert from child events.  Experiments that want live
+  telemetry build a private :class:`repro.obs.live.SloMonitor` inside
+  the cell function (see ``fig_burnrate``) and return plain rows.
+
 - :func:`sweep` runs an (experiment x scale x seed) grid through
   :func:`run_parallel` and merges the cells into one
   :class:`ExperimentResult` per (experiment, scale), each row prefixed
@@ -72,7 +90,8 @@ def _effective_processes(processes: Optional[int], n_items: int) -> int:
 
 def _counter_values(prefix: str) -> Dict[str, int]:
     """Current values of the counters under ``prefix`` (counters only:
-    gauges and histograms are per-process state, not mergeable sums)."""
+    gauges, histograms and the ``repro.obs.live`` windowed stores are
+    per-process state, not mergeable sums -- see module docstring)."""
     out: Dict[str, int] = {}
     for name in METRICS.names(prefix):
         try:

@@ -39,6 +39,19 @@ from repro.obs.export import (
     validate_trace_file,
     write_trace,
 )
+from repro.obs.live import (
+    BurnRateAlert,
+    FlightRecorder,
+    LiveTelemetry,
+    SloMonitor,
+    SloObjective,
+    TimeSeriesStore,
+    WindowStats,
+    WindowedSeries,
+    ewma_step,
+    render_prometheus,
+    validate_exposition,
+)
 from repro.obs.metrics import (
     METRICS,
     Counter,
@@ -60,23 +73,34 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BurnRateAlert",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instant",
     "LINK_UTIL_PREFIX",
+    "LiveTelemetry",
     "METRICS",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "Sample",
+    "SloMonitor",
+    "SloObjective",
     "Span",
+    "TimeSeriesStore",
     "Tracer",
+    "WindowStats",
+    "WindowedSeries",
+    "ewma_step",
     "get_tracer",
+    "render_prometheus",
     "set_tracer",
     "to_trace_events",
     "trace_payload",
     "tracing",
+    "validate_exposition",
     "validate_trace_events",
     "validate_trace_file",
     "write_trace",

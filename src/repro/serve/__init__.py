@@ -12,7 +12,9 @@ Turns the scripted NetAgg reproduction into a service you can hammer:
 - :mod:`repro.serve.http` -- the asyncio HTTP/JSON front-end
   (``python -m repro serve``);
 - :mod:`repro.serve.stats` -- per-tenant goodput / latency / SLO
-  attainment ledgers with self-checking accounting.
+  attainment ledgers with self-checking accounting;
+- :mod:`repro.serve.watch` -- the live text dashboard
+  (``python -m repro watch``) over ``/v1/stats`` + ``/metrics``.
 """
 
 from repro.serve.http import HttpFrontend, serve_forever
@@ -28,6 +30,7 @@ from repro.serve.service import (
     TenantPolicy,
 )
 from repro.serve.stats import ServeReport, TenantStats
+from repro.serve.watch import render_dashboard, watch_loop
 
 __all__ = [
     "AggregationService",
@@ -38,7 +41,9 @@ __all__ = [
     "TenantPolicy",
     "TenantStats",
     "estimate_service_time",
+    "render_dashboard",
     "run_loadgen",
     "serve_forever",
     "tenant_policies",
+    "watch_loop",
 ]

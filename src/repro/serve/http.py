@@ -4,9 +4,17 @@ Dependency-free (``asyncio.start_server`` + hand-rolled HTTP/1.1
 parsing) so the repo stays stdlib-only.  Endpoints:
 
 - ``GET  /healthz``     -- liveness: ``{"ok": true, "clock": ...}``;
-- ``GET  /v1/stats``    -- the per-tenant serving report so far;
+- ``GET  /v1/stats``    -- the per-tenant serving report so far, plus
+  live windowed stats and the burn-rate alert feed when the service's
+  telemetry plane is on;
+- ``GET  /metrics``     -- Prometheus text-format exposition
+  (``repro.obs.live.render_prometheus``);
 - ``POST /v1/query``    -- one Solr-style partition/aggregate query;
 - ``POST /v1/mlgrad``   -- one gradient-aggregation round.
+
+Both GET endpoints read only bounded state (log-bucket digests,
+windowed ring buffers, the registry's metric objects): their cost does
+not grow with the number of requests served.
 
 POST bodies are the JSON request dicts
 :meth:`repro.serve.service.AggregationService.handle` understands
@@ -22,7 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.serve.service import AggregationService
 from repro.workload.openloop import OP_MLGRAD, OP_QUERY
@@ -118,15 +126,23 @@ class HttpFrontend:
             except ConnectionError:
                 pass
 
-    async def dispatch(self, method: str, path: str,
-                       body: bytes) -> Tuple[int, Dict[str, Any]]:
-        """Route one parsed HTTP request (also the test seam)."""
+    async def dispatch(self, method: str, path: str, body: bytes,
+                       ) -> Tuple[int, Union[Dict[str, Any], str]]:
+        """Route one parsed HTTP request (also the test seam).
+
+        A ``str`` payload is written as ``text/plain`` (the Prometheus
+        exposition); dicts are written as JSON.
+        """
         if method == "GET" and path == "/healthz":
             return 200, {"ok": True, "clock": self.service.clock}
+        if method == "GET" and path == "/metrics":
+            return 200, self.service.metrics_exposition()
         if method == "GET" and path == "/v1/stats":
             report = self.service.report
-            return 200, {
+            telemetry = self.service.telemetry
+            payload: Dict[str, Any] = {
                 "requests": report.total_requests(),
+                "clock": self.service.clock,
                 "tenants": {
                     name: {
                         "requests": t.requests, "ok": t.ok,
@@ -134,11 +150,24 @@ class HttpFrontend:
                         "r429": t.rejected_admission,
                         "r503": t.rejected_unavailable,
                         "errors": t.errors,
-                        "p99": t.p99(),
+                        # Digest estimates: O(bins) per scrape, never a
+                        # sort over the full latency ledger.
+                        "p50": t.p50_estimate(),
+                        "p99": t.p99_estimate(),
                     }
                     for name, t in sorted(report.tenants.items())
                 },
             }
+            if telemetry is not None:
+                for name, row in payload["tenants"].items():
+                    row["window"] = telemetry.windowed(name)
+                payload["alerts"] = {
+                    "total": len(telemetry.monitor.alerts),
+                    "burning": telemetry.monitor.active(),
+                    "recent": [a.to_dict() for a in
+                               telemetry.monitor.alerts[-5:]],
+                }
+            return 200, payload
         op = {"/v1/query": OP_QUERY, "/v1/mlgrad": OP_MLGRAD}.get(path)
         if op is None:
             return 404, {"status": 404, "error": "not-found",
@@ -205,13 +234,22 @@ async def _read_request(
     return method.upper(), path, body
 
 
+#: Content type of the Prometheus text exposition format.
+_EXPOSITION_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
 async def _write_response(writer: asyncio.StreamWriter, status: int,
-                          payload: Dict[str, Any]) -> None:
-    body = json.dumps(payload).encode("utf-8")
+                          payload: Union[Dict[str, Any], str]) -> None:
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = _EXPOSITION_TYPE
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: keep-alive\r\n"
         "\r\n"
@@ -227,7 +265,8 @@ async def serve_forever(service: AggregationService,
     frontend = HttpFrontend(service)
     bound_host, bound_port = await frontend.start(host, port)
     announce(f"repro.serve listening on http://{bound_host}:{bound_port} "
-             f"(POST /v1/query, POST /v1/mlgrad, GET /healthz)")
+             f"(POST /v1/query, POST /v1/mlgrad, GET /healthz, "
+             f"GET /v1/stats, GET /metrics)")
     try:
         await frontend.serve_until_cancelled()
     finally:

@@ -57,7 +57,8 @@ def estimate_service_time(config: ServeConfig, samples: int = 8) -> float:
     against actual platform capacity instead of a magic constant.
     """
     scratch = AggregationService(replace(
-        config, admission=False, faults=None, max_queue_wait=None))
+        config, admission=False, faults=None, max_queue_wait=None,
+        telemetry=False))
     started = scratch.clock
     for i in range(samples):
         scratch.handle({"op": "query", "tenant": "probe",

@@ -62,7 +62,8 @@ from repro.faults import (
     PlatformFaultInjector,
     RetryPolicy,
 )
-from repro.obs import METRICS, get_tracer
+from repro.obs import METRICS, get_tracer, set_tracer
+from repro.obs.live import LiveTelemetry, SloObjective, render_prometheus
 from repro.serve.stats import (
     STATUS_BAD_REQUEST,
     STATUS_INTERNAL,
@@ -131,6 +132,20 @@ class ServeConfig:
     partition: Optional[PartitionPolicy] = None
     #: Top-k of query requests.
     k: int = 10
+    #: Live telemetry plane (windowed series, SLO burn-rate alerting,
+    #: anomaly-triggered flight recorder) on/off.
+    telemetry: bool = True
+    #: Good-event fraction each tenant's SLO objective requires.
+    slo_target: float = 0.9
+    #: Burn-rate windows (virtual seconds): fast 5x-budget catch, slow
+    #: 1x-budget confirmation (Google SRE multi-window pattern).
+    slo_fast_window: float = 1.0
+    slo_slow_window: float = 5.0
+    #: Flight-recorder ring capacity (records per kind).
+    recorder_capacity: int = 2048
+    #: Directory flight-recorder dumps are written to (None keeps them
+    #: in memory only, on the recorder's bounded ``dumps`` ring).
+    dump_dir: Optional[str] = None
 
     def policy_for(self, tenant: str) -> TenantPolicy:
         return self.tenants.get(tenant, self.default_policy)
@@ -173,6 +188,21 @@ class AggregationService:
         self._hosts = sorted(self._topo.hosts())
         self._lock = asyncio.Lock()
         self.report = ServeReport(slo=config.default_policy.slo)
+        #: The live telemetry plane (None when ``config.telemetry`` is
+        #: off -- e.g. the capacity-probe scratch deployment).
+        self.telemetry: Optional[LiveTelemetry] = None
+        if config.telemetry:
+            self.telemetry = LiveTelemetry(
+                template=SloObjective(
+                    key="",
+                    target=config.slo_target,
+                    fast_window=config.slo_fast_window,
+                    slow_window=config.slo_slow_window,
+                ),
+                recorder_capacity=config.recorder_capacity,
+                window=config.slo_slow_window,
+                dump_dir=config.dump_dir,
+            )
 
     @property
     def platform(self) -> NetAggPlatform:
@@ -282,7 +312,20 @@ class AggregationService:
         slo = self.config.policy_for(tenant).slo
         if arrival is None:
             arrival = self._platform.clock
-        response = self._execute(request, tenant, op, request_id, arrival)
+        telemetry = self.telemetry
+        # Always-on flight recording: while no real tracer is active,
+        # the recorder's bounded ring captures this request's spans.
+        # A caller-installed tracer (analyze/trace paths) wins; the
+        # ambient tracer is restored either way, so nothing leaks.
+        ambient = None
+        if telemetry is not None and not get_tracer().enabled:
+            ambient = set_tracer(telemetry.recorder)
+        try:
+            response = self._execute(request, tenant, op, request_id,
+                                     arrival)
+        finally:
+            if ambient is not None:
+                set_tracer(ambient)
         status = response["status"]
         latency = response.get("latency", 0.0)
         wait = response.get("wait", 0.0)
@@ -291,7 +334,31 @@ class AggregationService:
         METRICS.counter(f"serve.status.{status}").inc()
         if status == STATUS_OK:
             METRICS.histogram("serve.latency").observe(latency)
+        if telemetry is not None:
+            now = self._platform.clock
+            telemetry.observe_request(tenant, now, status, latency,
+                                      slo=slo)
+            error = response.get("error")
+            if error == "breaker-open":
+                telemetry.trigger("breaker.open", now, tenant=tenant,
+                                  request=request_id)
+            elif error in ("partition", "incomplete") \
+                    or status == STATUS_PARTIAL:
+                telemetry.trigger("partition.detected", now,
+                                  tenant=tenant, request=request_id,
+                                  scopes=",".join(
+                                      response.get("scopes", [])))
         return response
+
+    def metrics_exposition(self) -> str:
+        """The Prometheus text-format document ``GET /metrics`` serves.
+
+        Reads only bounded state (registry metric objects plus the
+        telemetry plane's rings), so cost is independent of how many
+        requests the service has handled.
+        """
+        return render_prometheus(telemetry=self.telemetry,
+                                 at=self._platform.clock)
 
     async def handle_async(self, request: Mapping[str, Any],
                            arrival: Optional[float] = None,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.experiments.common import ExperimentResult
+from repro.obs.metrics import Histogram
 from repro.units import percentile
 
 #: Response statuses the service emits (HTTP-style).
@@ -45,6 +46,11 @@ class TenantStats:
     errors: int = 0                 # 500
     latencies: List[float] = field(default_factory=list)
     waits: List[float] = field(default_factory=list)
+    #: Bounded log-bucket digest of the same latencies: live endpoints
+    #: (``/v1/stats``) read percentile *estimates* from here in O(bins)
+    #: instead of sorting the full ledger on every scrape.
+    digest: Histogram = field(
+        default_factory=lambda: Histogram("tenant.latency"))
 
     def record(self, status: int, latency: float = 0.0,
                wait: float = 0.0) -> None:
@@ -63,6 +69,7 @@ class TenantStats:
                     self.partial_within_slo += 1
             self.latencies.append(latency)
             self.waits.append(wait)
+            self.digest.observe(latency)
         elif status == STATUS_REJECTED:
             self.rejected_admission += 1
         elif status == STATUS_UNAVAILABLE:
@@ -75,6 +82,14 @@ class TenantStats:
 
     def p99(self) -> float:
         return percentile(self.latencies, 99.0) if self.latencies else 0.0
+
+    def p50_estimate(self) -> float:
+        """Digest p50: O(bins) regardless of request count."""
+        return self.digest.percentile(50.0)
+
+    def p99_estimate(self) -> float:
+        """Digest p99: O(bins) regardless of request count."""
+        return self.digest.percentile(99.0)
 
     def attainment(self) -> float:
         """Fraction of *offered* requests answered within the SLO

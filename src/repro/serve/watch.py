@@ -1,0 +1,160 @@
+"""``python -m repro watch`` -- a live text dashboard over the wire.
+
+Polls a running ``repro serve`` front-end (``GET /v1/stats`` +
+``GET /metrics``) and renders the top-N tenants by windowed request
+rate -- live p99, goodput, burn rates and episode state -- plus the
+hottest platform/aggbox counters from the exposition.  Pure functions
+do the rendering (:func:`render_dashboard` is unit-tested offline);
+only :func:`watch_loop` touches the network and the wall clock.
+
+The dashboard is read-only: it consumes exactly the two bounded GET
+endpoints, so watching a service never perturbs its virtual clock,
+admission state or ledgers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Metric prefixes the hot-counters section surfaces, in render order.
+HOT_PREFIXES = ("repro_serve_", "repro_aggbox_", "repro_platform_",
+                "repro_obs_")
+
+#: Counters per prefix group shown in the hot section.
+HOT_PER_GROUP = 4
+
+
+def fetch_json(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET a JSON document (raises urllib errors on failure)."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def fetch_text(url: str, timeout: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def parse_exposition_values(text: str) -> List[Tuple[str, float]]:
+    """(name-with-labels, value) pairs of an exposition document."""
+    out: List[Tuple[str, float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.rsplit(None, 1)
+        if len(fields) != 2:
+            continue
+        try:
+            out.append((fields[0], float(fields[1])))
+        except ValueError:
+            continue
+    return out
+
+
+def hot_counters(metrics_text: str,
+                 per_group: int = HOT_PER_GROUP) -> List[str]:
+    """The largest samples per prefix group, formatted for the board."""
+    values = parse_exposition_values(metrics_text)
+    lines: List[str] = []
+    for prefix in HOT_PREFIXES:
+        group = sorted(
+            (pair for pair in values if pair[0].startswith(prefix)),
+            key=lambda pair: (-pair[1], pair[0]))[:per_group]
+        lines.extend(f"  {name:<52s} {value:>14,.6g}"
+                     for name, value in group if value)
+    return lines
+
+
+def _tenant_rows(stats: Dict[str, Any],
+                 top: int) -> List[Tuple[str, Dict[str, Any]]]:
+    tenants = stats.get("tenants", {})
+    ranked = sorted(
+        tenants.items(),
+        key=lambda kv: (-(kv[1].get("window") or {}).get("rate_rps", 0.0),
+                        -kv[1].get("requests", 0), kv[0]))
+    return ranked[:top]
+
+
+def render_dashboard(stats: Dict[str, Any], metrics_text: str = "",
+                     top: int = 10) -> str:
+    """The dashboard as one printable string (pure; unit-testable)."""
+    clock = stats.get("clock", 0.0)
+    lines = [
+        f"repro watch  --  clock {clock:10.3f}s  "
+        f"requests {stats.get('requests', 0):,}",
+        "",
+        f"{'tenant':<14s} {'req':>7s} {'ok':>6s} {'206':>5s} "
+        f"{'429':>5s} {'503':>5s} {'win p99':>9s} {'good/s':>8s} "
+        f"{'burn f':>7s} {'burn s':>7s}  state",
+    ]
+    for name, row in _tenant_rows(stats, top):
+        window = row.get("window") or {}
+        burning = window.get("burning", 0.0)
+        lines.append(
+            f"{name:<14s} {row.get('requests', 0):>7,d} "
+            f"{row.get('ok', 0):>6,d} {row.get('r206', 0):>5,d} "
+            f"{row.get('r429', 0):>5,d} {row.get('r503', 0):>5,d} "
+            f"{window.get('p99', row.get('p99', 0.0)):>8.4f}s "
+            f"{window.get('goodput_rps', 0.0):>8.1f} "
+            f"{window.get('burn_fast', 0.0):>7.2f} "
+            f"{window.get('burn_slow', 0.0):>7.2f}  "
+            f"{'BURN' if burning else 'ok'}")
+    if not stats.get("tenants"):
+        lines.append("  (no traffic yet)")
+    alerts = stats.get("alerts") or {}
+    if alerts:
+        burning = ", ".join(alerts.get("burning", [])) or "none"
+        lines.append("")
+        lines.append(f"alerts: {alerts.get('total', 0)} fired, "
+                     f"burning: {burning}")
+        for alert in alerts.get("recent", [])[-3:]:
+            lines.append(
+                "  t={at:9.3f}  {key:<14s} fast {fast:6.2f}x  "
+                "slow {slow:6.2f}x".format(
+                    at=float(alert.get("at", 0.0)),
+                    key=str(alert.get("key", "")),
+                    fast=float(alert.get("fast_burn", 0.0)),
+                    slow=float(alert.get("slow_burn", 0.0))))
+    hot = hot_counters(metrics_text) if metrics_text else []
+    if hot:
+        lines.append("")
+        lines.append("hot metrics:")
+        lines.extend(hot)
+    return "\n".join(lines)
+
+
+def watch_loop(url: str, interval: float = 1.0,
+               iterations: Optional[int] = None, top: int = 10,
+               out=None, sleep: Callable[[float], None] = time.sleep,
+               ) -> int:
+    """Poll and render until interrupted (or ``iterations`` exhausted).
+
+    ``out``/``sleep`` are injectable for tests; the default renders to
+    stdout with an ANSI home+clear between frames.
+    """
+    out = out if out is not None else sys.stdout
+    base = url.rstrip("/")
+    frames = 0
+    while iterations is None or frames < iterations:
+        try:
+            stats = fetch_json(base + "/v1/stats")
+            metrics_text = fetch_text(base + "/metrics")
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"watch: {base} unreachable: {exc}", file=sys.stderr)
+            return 1
+        if out is sys.stdout and frames:
+            out.write("\x1b[H\x1b[2J")
+        out.write(render_dashboard(stats, metrics_text, top=top))
+        out.write("\n")
+        out.flush()
+        frames += 1
+        if iterations is not None and frames >= iterations:
+            break
+        sleep(interval)
+    return 0

@@ -247,6 +247,24 @@ class TestBenchCompare:
         assert outcome["regressions"] == []
         assert outcome["median_ratio"] == pytest.approx(2.0)
 
+    def test_faster_machine_does_not_inflate_rows(self):
+        """A median ratio below 1.0 (machine now faster than the
+        baseline era) must never count *against* a row: a row at
+        parity is not a regression just because the median sped up."""
+        from repro.bench import compare_payloads
+
+        baseline = self._payload(
+            a={"seconds": 1.0, "events": 100},
+            b={"seconds": 2.0, "events": 200},
+            c={"seconds": 3.0, "events": 300},
+        )
+        current = copy.deepcopy(baseline)
+        for record in current["results"][1:]:
+            record["seconds"] *= 0.7  # b, c sped up; a held steady
+        outcome = compare_payloads(current, baseline)
+        assert outcome["median_ratio"] == pytest.approx(0.7)
+        assert outcome["regressions"] == []
+
     def test_single_experiment_slowdown_trips(self):
         from repro.bench import compare_payloads
 

@@ -14,7 +14,14 @@ growing back: outside ``src/repro/obs/``, modules may not
   define a ``parse/load/read`` + ``trace`` function.  Trace files are
   consumed through ``repro.obs.analyze.TraceData`` (and written by
   ``repro.obs.export``) so the exporter's schema quirks -- exact-time
-  ``t0``/``t1`` keys, seq-encoded ordering -- live in one place.
+  ``t0``/``t1`` keys, seq-encoded ordering -- live in one place, or
+- re-implement windowing / smoothing math: define a function, class or
+  attribute whose name says EWMA, or a class whose name says it is a
+  windowed/rolling series or burn-rate tracker.  That arithmetic lives
+  in :mod:`repro.obs.live` (``ewma_step``, ``WindowedSeries``,
+  ``SloMonitor``); callers import it (as ``core.partition``'s
+  ``GrayDetector`` does) rather than growing private copies whose
+  boundary conventions drift.
 
 Allowlisted: ``repro.netsim.simulator``'s ``SimCounters``/``COUNTERS``
 pair, which survives as a *deprecated facade* over ``repro.obs.METRICS``
@@ -49,6 +56,14 @@ GLOBAL_PATTERN = re.compile(r"^(COUNTERS|METRICS|TELEMETRY|STATS)$")
 TRACE_FN_PATTERN = re.compile(
     r"(?:^|_)(?:parse|load|read)\w*_trace|trace\w*_(?:parse|load|read)")
 
+#: Definition/binding names that read as private smoothing math.
+EWMA_PATTERN = re.compile(r"(?i)ewma")
+
+#: Class names that read as ad-hoc windowed-series / burn-rate
+#: containers (repro.obs.live owns that arithmetic).
+WINDOW_CLASS_PATTERN = re.compile(
+    r"(Windowed?(Series|Stats|Store)?$|Rolling|BurnRate|TimeSeries)")
+
 #: (module relative to src/repro, symbol) pairs that may stay: the
 #: simulator's deprecated SimCounters facade over repro.obs.METRICS.
 ALLOWLIST = {
@@ -66,6 +81,7 @@ def check_file(path: pathlib.Path) -> List[Tuple[int, str]]:
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     problems.extend(_check_trace_parsing(tree))
+    problems.extend(_check_window_math(tree))
     for node in tree.body:
         if isinstance(node, ast.ClassDef) \
                 and CLASS_PATTERN.search(node.name) \
@@ -89,6 +105,52 @@ def check_file(path: pathlib.Path) -> List[Tuple[int, str]]:
                     f"module-level {target.id!r} looks like a telemetry "
                     f"singleton; register metrics on repro.obs.METRICS",
                 ))
+    return problems
+
+
+def _check_window_math(tree: ast.Module) -> List[Tuple[int, str]]:
+    """Flag private windowing / EWMA math (module docstring, rule 4).
+
+    Only *definitions and bindings* count: a function, class, or
+    assignment target named after EWMA, or a class named like a
+    windowed-series container.  Importing and calling
+    ``repro.obs.live.ewma_step`` is the sanctioned pattern and never
+    binds such a name, so it passes.
+    """
+    problems: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and EWMA_PATTERN.search(node.name):
+            problems.append((
+                node.lineno,
+                f"function {node.name!r} re-implements EWMA math; "
+                f"use repro.obs.live.ewma_step",
+            ))
+        elif isinstance(node, ast.ClassDef):
+            if EWMA_PATTERN.search(node.name) \
+                    or WINDOW_CLASS_PATTERN.search(node.name):
+                problems.append((
+                    node.lineno,
+                    f"class {node.name!r} looks like a private windowed"
+                    f"-series/EWMA container; use repro.obs.live "
+                    f"(WindowedSeries, TimeSeriesStore, SloMonitor)",
+                ))
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                name = None
+                if isinstance(target, ast.Name):
+                    name = target.id
+                elif isinstance(target, ast.Attribute):
+                    name = target.attr
+                if name is not None and EWMA_PATTERN.search(name):
+                    problems.append((
+                        node.lineno,
+                        f"binding {name!r} looks like private EWMA "
+                        f"state; keep the smoothing arithmetic in "
+                        f"repro.obs.live.ewma_step",
+                    ))
     return problems
 
 
